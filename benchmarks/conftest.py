@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates the numeric series behind one paper table or
+figure via :mod:`repro.exps` and times it with pytest-benchmark.  The
+experiment scale comes from the environment:
+
+* default          -> ``tiny``  (seconds per artifact, shape-preserving)
+* ``REPRO_SCALE=small``  -> minutes per artifact
+* ``REPRO_FULL_SCALE=1`` -> the paper's full configuration (hours)
+
+Each run prints the regenerated table (run pytest with ``-s`` to see it)
+and writes it as CSV into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exps import EXPERIMENTS
+from repro.exps.common import current_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return current_scale(default="tiny")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_experiment(benchmark, name: str, scale: str, results_dir: Path):
+    """Time one experiment once and persist/print its table."""
+    runner = EXPERIMENTS[name]
+    result = benchmark.pedantic(runner, args=(scale,), rounds=1, iterations=1)
+    (results_dir / f"{name}_{scale}.csv").write_text(result.to_csv() + "\n")
+    print()
+    print(result)
+    return result

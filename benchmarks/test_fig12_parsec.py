@@ -1,0 +1,20 @@
+"""Fig 12: hetero-PHY networks replaying PARSEC (Netrace-like) traces."""
+
+from .conftest import run_experiment
+
+
+def test_fig12(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig12", scale, results_dir)
+    apps = sorted(set(result.column("app")))
+    for app in apps:
+        lat = {row[1]: row[2] for row in result.filtered(app=app)}
+        std = {row[1]: row[3] for row in result.filtered(app=app)}
+        # At 64 nodes the serial interface delay dominates: the serial
+        # torus is the worst network on every application (Sec 8.1.1).
+        assert lat["serial-torus"] > lat["parallel-mesh"]
+        assert lat["hetero-phy-full"] < lat["serial-torus"]
+        assert lat["hetero-phy-half"] < lat["serial-torus"]
+        # hetero-IF also reduces the latency variance vs the serial IF.
+        assert std["hetero-phy-full"] < std["serial-torus"]
+        # full and halved hetero are close (wraparound traffic is rare).
+        assert abs(lat["hetero-phy-full"] - lat["hetero-phy-half"]) < 0.4 * lat["hetero-phy-full"]

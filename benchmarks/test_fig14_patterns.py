@@ -1,0 +1,20 @@
+"""Fig 14: hetero-channel networks on six synthetic traffic patterns."""
+
+from .conftest import run_experiment
+
+
+def test_fig14(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig14", scale, results_dir)
+    patterns = sorted(set(result.column("pattern")))
+    assert len(patterns) == 6
+    rates = sorted(set(result.column("rate")))
+    low = rates[0]
+    for pattern in patterns:
+        lat = {row[1]: row[3] for row in result.filtered(pattern=pattern, rate=low)}
+        # The hetero-channel network is never worse than the serial-only
+        # hypercube: approaching packets finish over the parallel mesh
+        # (Sec 8.1.2).
+        assert lat["hetero-channel-full"] <= lat["serial-hypercube"]
+        # Halving the interfaces does not change the picture much: the
+        # high-radix topology needs little per-link bandwidth.
+        assert lat["hetero-channel-half"] <= lat["serial-hypercube"] * 1.25

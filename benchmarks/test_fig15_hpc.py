@@ -1,0 +1,17 @@
+"""Fig 15: hetero-channel networks replaying HPC traces (core-node ranks)."""
+
+from .conftest import run_experiment
+
+
+def test_fig15(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig15", scale, results_dir)
+    traces = sorted(set(result.column("trace")))
+    scales = sorted(set(result.column("time_scale")))
+    low = scales[0]
+    for trace in traces:
+        lat = {row[1]: row[4] for row in result.filtered(trace=trace, time_scale=low)}
+        deliv = {row[1]: row[5] for row in result.filtered(trace=trace, time_scale=low)}
+        # every network must actually deliver the trace at the base scale
+        assert all(v > 0.9 for v in deliv.values())
+        # hetero-channel is never worse than the serial hypercube
+        assert lat["hetero-channel-full"] <= lat["serial-hypercube"] * 1.05

@@ -1,0 +1,26 @@
+"""Fig 16: average packet energy on uniform traffic."""
+
+from .conftest import run_experiment
+
+
+def test_fig16(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig16", scale, results_dir)
+    for group, serial_baseline, hetero in (
+        ("hetero-phy", "serial-torus", "hetero-phy"),
+        ("hetero-channel", "serial-hypercube", "hetero-channel"),
+    ):
+        rows = result.filtered(group=group)
+        total = {}
+        for row in rows:
+            total.setdefault(row[1], {})[row[2]] = row[5]
+        # the serial-IF baseline has the highest energy (2.4 pJ/bit links)
+        serial = list(total[serial_baseline].values())[0]
+        assert all(
+            serial >= min(values.values())
+            for net, values in total.items()
+            if net != serial_baseline
+        )
+        # energy-efficient scheduling never increases hetero-IF energy
+        hetero_rows = total[hetero]
+        if "energy_efficient" in hetero_rows and "balanced" in hetero_rows:
+            assert hetero_rows["energy_efficient"] <= hetero_rows["balanced"] * 1.02

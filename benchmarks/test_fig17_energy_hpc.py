@@ -1,0 +1,20 @@
+"""Fig 17: average packet energy on MOC traces."""
+
+from .conftest import run_experiment
+
+
+def test_fig17(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig17", scale, results_dir)
+    for group, serial_baseline in (
+        ("hetero-phy", "serial-torus"),
+        ("hetero-channel", "serial-hypercube"),
+    ):
+        rows = result.filtered(group=group)
+        total = {}
+        for row in rows:
+            total.setdefault(row[1], {})[row[2]] = row[5]
+        serial = list(total[serial_baseline].values())[0]
+        hetero_net = [n for n in total if n.startswith("hetero")][0]
+        best_hetero = min(total[hetero_net].values())
+        # hetero-IF with the right scheduling undercuts the serial baseline
+        assert best_hetero < serial

@@ -1,0 +1,22 @@
+"""Fig 18: energy flexibility across local-communication scales."""
+
+from .conftest import run_experiment
+
+
+def test_fig18(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig18", scale, results_dir)
+    spans = sorted(set(result.column("span")))
+    assert len(spans) >= 2
+    smallest = spans[0]
+    local = {row[1]: row[2] for row in result.filtered(span=smallest)}
+    # short-reach local traffic: the uniform-serial system wastes energy
+    assert local["serial-torus"] >= local["parallel-mesh"]
+    # hetero-IF matches the better system at the local scale
+    assert local["hetero-phy-full"] <= local["serial-torus"] * 1.05
+    # and across ALL scales hetero is never the single worst network
+    for span in spans:
+        rows = {row[1]: row[2] for row in result.filtered(span=span)}
+        worst = max(rows.values())
+        assert rows["hetero-phy-full"] < worst or all(
+            abs(v - worst) < 1e-6 for v in rows.values()
+        )

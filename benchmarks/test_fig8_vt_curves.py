@@ -1,0 +1,18 @@
+"""Fig 8: V-t curves of uniform vs heterogeneous interfaces (Eq 2)."""
+
+from .conftest import run_experiment
+
+
+def test_fig8(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "fig8", scale, results_dir)
+    headers = result.headers
+    i_par, i_ser = headers.index("parallel"), headers.index("serial")
+    i_het, i_half = headers.index("hetero"), headers.index("hetero_half_pins")
+    for row in result.rows:
+        # the hetero fold dominates both components (Fig 8a)
+        assert row[i_het] >= max(row[i_par], row[i_ser]) - 1e-9
+        # the pin-constrained fold still dominates the halved parallel IF
+        assert row[i_half] >= row[i_par] / 2 - 1e-9
+    # serial eventually overtakes parallel in volume (slope beats intercept)
+    last = result.rows[-1]
+    assert last[i_ser] > last[i_par]

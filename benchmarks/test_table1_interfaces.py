@@ -1,0 +1,14 @@
+"""Table 1: die-to-die interface specifications (reference data)."""
+
+from .conftest import run_experiment
+
+
+def test_table1(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "table1", scale, results_dir)
+    assert len(result.rows) == 5
+    # the serial/parallel trade-off that motivates hetero-IF:
+    serdes = result.filtered(interface="SerDes")[0]
+    aib = result.filtered(interface="AIB")[0]
+    assert serdes[2] > aib[2]  # data rate
+    assert serdes[4] > aib[4]  # power
+    assert serdes[5] > aib[5]  # reach

@@ -1,0 +1,17 @@
+"""Table 3: average latency reduction of hetero-IF across system scales."""
+
+import math
+
+from .conftest import run_experiment
+
+
+def test_table3(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "table3", scale, results_dir)
+    assert result.rows
+    for row in result.rows:
+        label, hphy_p, hphy_s, hch_p, hch_s = row
+        # hetero-PHY always reduces latency vs the uniform-serial torus
+        assert hphy_s > 0, f"{label}: no reduction vs serial torus"
+        if not math.isnan(hch_s):
+            # hetero-channel always reduces latency vs the serial hypercube
+            assert hch_s > 0, f"{label}: no reduction vs serial hypercube"

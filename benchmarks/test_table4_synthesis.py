@@ -1,0 +1,19 @@
+"""Table 4: post-synthesis area/power/frequency of the circuit modules."""
+
+import pytest
+
+from .conftest import run_experiment
+
+
+def test_table4(benchmark, scale, results_dir):
+    result = run_experiment(benchmark, "table4", scale, results_dir)
+    rows = {row[0]: row for row in result.rows}
+    for name, row in rows.items():
+        _, area, paper_area, power, paper_power, fmax, paper_fmax = row
+        assert area == pytest.approx(paper_area, rel=0.15), name
+        assert power == pytest.approx(paper_power, rel=0.15), name
+    # headline overheads of the heterogeneous router (Sec 8.2)
+    area_ratio = rows["hetero_router"][1] / rows["router"][1]
+    power_ratio = rows["hetero_router"][3] / rows["router"][3]
+    assert area_ratio == pytest.approx(1.45, abs=0.1)
+    assert power_ratio == pytest.approx(1.33, abs=0.1)

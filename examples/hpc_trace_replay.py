@@ -1,0 +1,71 @@
+"""HPC trace replay: CNS and MOC programs on chiplet fabrics (Fig 13).
+
+Generates DUMPI-substitute traces for the two HPC programs the paper
+evaluates — CNS (compressible Navier-Stokes, neighbour-dominated halo
+exchange) and MOC (method of characteristics, long-range sweeps) — embeds
+the MPI ranks onto a multi-chiplet system, and replays them on the four
+hetero-PHY contenders at increasing injection scales.
+
+Run with::
+
+    python examples/hpc_trace_replay.py
+"""
+
+from repro import (
+    ChipletGrid,
+    SimConfig,
+    build_system,
+    embed_ranks,
+    generate_cns_trace,
+    generate_moc_trace,
+    run_trace,
+)
+
+
+def main() -> None:
+    grid = ChipletGrid(4, 4, 4, 4)  # 256 nodes
+    config = SimConfig().scaled(cycles=8_000)
+    ranks = 256
+
+    traces = {
+        "CNS (halo exchange + allreduce)": embed_ranks(
+            generate_cns_trace(ranks, iterations=4), grid
+        ),
+        "MOC (long-range sweeps)": embed_ranks(
+            generate_moc_trace(ranks, iterations=3), grid
+        ),
+    }
+    systems = {
+        "parallel-mesh": build_system("parallel_mesh", grid, config),
+        "serial-torus": build_system("serial_torus", grid, config),
+        "hetero-phy": build_system("hetero_phy_torus", grid, config),
+        "hetero-phy/2": build_system("hetero_phy_torus", grid, config.halved()),
+    }
+
+    for name, base in traces.items():
+        print(f"\n=== {name}: {len(base)} packets, {base.total_flits} flits ===")
+        print(f"{'scale':>6s} {'load':>7s}", end="")
+        for system in systems:
+            print(f" {system:>14s}", end="")
+        print()
+        for time_scale in (0.5, 1.0, 2.0):
+            trace = base.scaled(time_scale)
+            load = trace.offered_load(grid.n_nodes)
+            print(f"{time_scale:6.1f} {load:7.3f}", end="")
+            for system, spec in systems.items():
+                result = run_trace(spec, trace, strict=False)
+                latency = result.stats.avg_latency
+                mark = "" if result.stats.delivered_fraction > 0.95 else "*"
+                print(f" {latency:13.1f}{mark or ' '}", end="")
+            print()
+    print("\n(* = network failed to drain the trace: saturated)")
+    print(
+        "CNS keeps traffic between neighbouring ranks, so the parallel mesh"
+        "\nholds up until the scale grows; MOC's long-range sweeps reward the"
+        "\ntorus wraparounds.  The hetero-PHY fabric tracks the best baseline"
+        "\nin each regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: build a hetero-IF multi-chiplet system and simulate it.
+
+Builds the paper's three hetero-PHY contenders (uniform-parallel mesh,
+uniform-serial torus, hetero-PHY torus) at a 256-node scale, runs uniform
+random traffic through each, and prints a side-by-side comparison of
+latency, energy and PHY utilization.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ChipletGrid, SimConfig, build_system, run_synthetic
+
+
+def main() -> None:
+    # 4x4 chiplets, each a 4x4-node mesh NoC => 256 nodes (Fig 11 scale).
+    grid = ChipletGrid(chiplets_x=4, chiplets_y=4, nodes_x=4, nodes_y=4)
+
+    # Table 2 parameters with a short horizon for a quick demo.
+    config = SimConfig().scaled(cycles=5_000)
+
+    systems = {
+        "uniform-parallel 2D-mesh": build_system("parallel_mesh", grid, config),
+        "uniform-serial 2D-torus": build_system("serial_torus", grid, config),
+        "hetero-PHY 2D-torus": build_system("hetero_phy_torus", grid, config),
+    }
+
+    rate = 0.25  # flits/cycle/node - past the mesh's comfort zone
+    print(f"uniform random traffic at {rate} flits/cycle/node, {grid.n_nodes} nodes\n")
+    print(f"{'system':28s} {'avg lat':>8s} {'p99':>8s} {'pJ/pkt':>8s} {'delivered':>9s}")
+    for name, spec in systems.items():
+        result = run_synthetic(spec, "uniform", rate, seed=42)
+        stats = result.stats
+        print(
+            f"{name:28s} {stats.avg_latency:8.1f} {stats.latency_percentile(99):8.0f} "
+            f"{stats.avg_energy_pj:8.0f} {stats.delivered_fraction:8.1%}"
+        )
+        parallel, serial = result.phy_split
+        if parallel or serial:
+            share = serial / (parallel + serial)
+            print(
+                f"{'':28s} hetero-PHY dispatch: {parallel} flits parallel, "
+                f"{serial} serial ({share:.0%} serial)"
+            )
+    print(
+        "\nThe serial torus pays its 20-cycle interface everywhere; the mesh"
+        "\nis close to saturation at this rate; the hetero-PHY torus keeps"
+        "\nthe parallel PHY's latency and absorbs the load with the serial PHY."
+    )
+
+
+if __name__ == "__main__":
+    main()

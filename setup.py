@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP 517
+editable build; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on older pips) fall
+back to the setuptools develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

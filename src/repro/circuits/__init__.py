@@ -1,0 +1,26 @@
+"""Circuit-level models: behavioural RTL twins and the Table 4 estimator."""
+
+from .fifo import MultiWidthFifo, PortBudgetError
+from .reorder_rx import RxReorderFifo
+from .synthesis import (
+    TABLE4_PAPER,
+    SynthesisResult,
+    synthesize_adapter_rx,
+    synthesize_adapter_tx,
+    synthesize_hetero_router,
+    synthesize_router,
+    table4,
+)
+
+__all__ = [
+    "MultiWidthFifo",
+    "PortBudgetError",
+    "RxReorderFifo",
+    "SynthesisResult",
+    "TABLE4_PAPER",
+    "synthesize_adapter_rx",
+    "synthesize_adapter_tx",
+    "synthesize_hetero_router",
+    "synthesize_router",
+    "table4",
+]

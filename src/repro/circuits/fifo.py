@@ -1,0 +1,94 @@
+"""Behavioural model of the multi-width FIFO (Sec 7.3).
+
+The hetero-PHY TX adapter is built around "a FIFO that can read/write
+multiple flits in one cycle": the router side writes up to
+``write_ports`` flits per cycle, and the dispatch logic reads up to
+``read_ports`` flits per cycle (one per PHY lane issued).  This model is
+cycle-synchronous: per-cycle port budgets reset on :meth:`tick`.
+
+It exists both as documentation of the RTL prototype and as the subject of
+the circuit-level unit/property tests (FIFO order, capacity, port limits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class PortBudgetError(RuntimeError):
+    """More accesses in one cycle than the module has ports."""
+
+
+class MultiWidthFifo:
+    """Synchronous FIFO with multiple concurrent read/write ports.
+
+    The RTL prototype uses depth 16, 64-bit entries, and 3 concurrent
+    read/write ports (Sec 8.2).
+    """
+
+    def __init__(self, depth: int = 16, read_ports: int = 3, write_ports: int = 3) -> None:
+        if depth < 1 or read_ports < 1 or write_ports < 1:
+            raise ValueError("depth and port counts must be >= 1")
+        self.depth = depth
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self._entries: deque = deque()
+        self._reads_left = read_ports
+        self._writes_left = write_ports
+        self.max_occupancy = 0
+
+    def tick(self) -> None:
+        """Advance one clock cycle: refresh the per-cycle port budgets."""
+        self._reads_left = self.read_ports
+        self._writes_left = self.write_ports
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free(self) -> int:
+        return self.depth - len(self._entries)
+
+    @property
+    def half_full(self) -> bool:
+        """The balanced-policy threshold signal (Sec 7.3)."""
+        return len(self._entries) * 2 >= self.depth
+
+    def push(self, item) -> None:
+        """Write one entry (consumes one write port)."""
+        if self._writes_left <= 0:
+            raise PortBudgetError(
+                f"more than {self.write_ports} writes in one cycle"
+            )
+        if len(self._entries) >= self.depth:
+            raise OverflowError("FIFO full")
+        self._writes_left -= 1
+        self._entries.append(item)
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+
+    def pop(self):
+        """Read one entry in FIFO order (consumes one read port)."""
+        if self._reads_left <= 0:
+            raise PortBudgetError(f"more than {self.read_ports} reads in one cycle")
+        if not self._entries:
+            raise IndexError("FIFO empty")
+        self._reads_left -= 1
+        return self._entries.popleft()
+
+    def front(self):
+        """Peek the oldest entry without consuming a port."""
+        if not self._entries:
+            raise IndexError("FIFO empty")
+        return self._entries[0]
+
+    def balanced_read_count(self) -> int:
+        """Flits the balanced scheduling logic reads this cycle (Sec 7.3).
+
+        Half-full or more: three flits (one to the parallel PHY, two to
+        the serial PHY); otherwise one flit (parallel PHY only).  Bounded
+        by the current occupancy.
+        """
+        want = 3 if self.half_full else 1
+        return min(want, len(self._entries), self._reads_left)

@@ -1,0 +1,75 @@
+"""Behavioural model of the RX adapter's reorder stage (Sec 7.3).
+
+The RTL prototype buffers flits arriving from the parallel PHY (data plus
+sequence number) in a FIFO and waits for flits with earlier sequence
+numbers to arrive from the serial PHY; the counting logic tracks the next
+expected sequence number.  This mirrors that structure at entry
+granularity — it is the circuit-level twin of
+:class:`repro.core.rob.ReorderBuffer` and is exercised by the circuit
+tests (including the one-extra-cycle forwarding latency noted in Sec 8.2).
+"""
+
+from __future__ import annotations
+
+
+class RxReorderFifo:
+    """Sequence-number reorder stage with a parallel-side wait FIFO.
+
+    Entries are ``(sn, payload)``.  ``push_parallel`` / ``push_serial``
+    model arrivals from the two PHYs; :meth:`pop_ready` emits entries in
+    strict sequence-number order, at most one per call (one read port),
+    one cycle after arrival (the extra reordering cycle of Sec 8.2).
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self._wait: dict[int, object] = {}
+        self._expected = 0
+        self._arrival_cycle: dict[int, int] = {}
+        self.max_occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._wait)
+
+    @property
+    def expected_sn(self) -> int:
+        return self._expected
+
+    def _push(self, sn: int, payload, now: int) -> None:
+        if sn < self._expected:
+            raise ValueError(f"sequence number {sn} already released")
+        if sn in self._wait:
+            raise ValueError(f"duplicate sequence number {sn}")
+        if len(self._wait) >= self.depth:
+            raise OverflowError("reorder FIFO full")
+        self._wait[sn] = payload
+        self._arrival_cycle[sn] = now
+        if len(self._wait) > self.max_occupancy:
+            self.max_occupancy = len(self._wait)
+
+    def push_parallel(self, sn: int, payload, now: int) -> None:
+        """A flit arrives from the parallel PHY."""
+        self._push(sn, payload, now)
+
+    def push_serial(self, sn: int, payload, now: int) -> None:
+        """A flit arrives from the serial PHY."""
+        self._push(sn, payload, now)
+
+    def pop_ready(self, now: int):
+        """The next in-order payload, or None if it has not arrived yet.
+
+        An entry becomes visible the cycle after its arrival (the
+        reordering stage adds one cycle, Sec 8.2).
+        """
+        sn = self._expected
+        if sn not in self._wait:
+            return None
+        if self._arrival_cycle[sn] >= now:
+            return None
+        payload = self._wait.pop(sn)
+        del self._arrival_cycle[sn]
+        self._expected = sn + 1
+        return payload

@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+Run paper experiments and ad-hoc simulations from the shell::
+
+    repro list                         # available experiments
+    repro run fig11 --scale tiny       # regenerate one figure's data
+    repro run all --scale small        # regenerate everything
+    repro simulate --family hetero_phy_torus --chiplets 4x4 --nodes 4x4 \
+                   --pattern uniform --rate 0.1
+
+Output is the plain-text table of the experiment (add ``--csv`` for CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import run_synthetic
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import FAMILIES, build_system
+
+
+def _parse_pair(text: str, what: str) -> tuple[int, int]:
+    try:
+        x, y = text.lower().split("x")
+        return int(x), int(y)
+    except ValueError:
+        raise SystemExit(f"invalid {what} {text!r}; expected e.g. 4x4") from None
+
+
+def _cmd_list(_args) -> int:
+    from repro.exps import EXPERIMENTS
+
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.exps import EXPERIMENTS
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](args.scale)
+        elapsed = time.time() - start
+        if args.csv:
+            print(result.to_csv())
+        else:
+            print(result)
+            print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.exps.report import summarize
+
+    print(summarize(Path(args.results_dir), args.scale))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    chiplets = _parse_pair(args.chiplets, "--chiplets")
+    nodes = _parse_pair(args.nodes, "--nodes")
+    grid = ChipletGrid(chiplets[0], chiplets[1], nodes[0], nodes[1])
+    config = SimConfig().scaled(args.cycles)
+    if args.halved:
+        config = config.halved()
+    spec = build_system(args.family, grid, config)
+    result = run_synthetic(spec, args.pattern, args.rate, policy=args.policy)
+    print(f"system   : {spec.name}")
+    print(f"workload : {result.workload} ({grid.n_nodes} nodes, {args.cycles} cycles)")
+    print(f"policy   : {result.policy}")
+    for key, value in result.stats.summary().items():
+        print(f"{key:26s}: {value:.3f}")
+    par, ser = result.phy_split
+    if par or ser:
+        print(f"hetero-PHY flit split     : parallel {par}, serial {ser}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous die-to-die interfaces (MICRO 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run a paper experiment (or 'all')")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--scale", choices=("tiny", "small", "paper"), default="small")
+    run_p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    run_p.set_defaults(func=_cmd_run)
+
+    report_p = sub.add_parser(
+        "report", help="summarize benchmark CSVs against the paper's numbers"
+    )
+    report_p.add_argument("--results-dir", default="benchmarks/results")
+    report_p.add_argument("--scale", choices=("tiny", "small", "paper"), default="small")
+    report_p.set_defaults(func=_cmd_report)
+
+    sim_p = sub.add_parser("simulate", help="run one ad-hoc simulation")
+    sim_p.add_argument("--family", choices=FAMILIES, default="hetero_phy_torus")
+    sim_p.add_argument("--chiplets", default="4x4", help="chiplet grid, e.g. 4x4")
+    sim_p.add_argument("--nodes", default="4x4", help="per-chiplet mesh, e.g. 4x4")
+    sim_p.add_argument("--pattern", default="uniform")
+    sim_p.add_argument("--rate", type=float, default=0.1, help="flits/cycle/node")
+    sim_p.add_argument("--cycles", type=int, default=10_000)
+    sim_p.add_argument(
+        "--policy",
+        choices=(
+            "performance",
+            "balanced",
+            "energy_efficient",
+            "application_aware",
+            "passive_aware",
+        ),
+        default=None,
+    )
+    sim_p.add_argument(
+        "--halved", action="store_true", help="pin-constrained halved interfaces"
+    )
+    sim_p.set_defaults(func=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's contribution: heterogeneous die-to-die interfaces.
+
+Interface technology records (Table 1), the hetero-PHY link with its
+TX dispatch pipeline and RX reorder buffer (Sec 4.2, Eq 1), the dispatch
+scheduling policies (Sec 5.3), the bandwidth-latency V-t model (Sec 5.1,
+Eq 2) and the weighted path-length model (Sec 5.2, Eq 3/4).
+"""
+
+from .interfaces import AIB, BOW, SERDES, TABLE1, InterfaceSpec, lookup
+from .phy import HeteroPhyLink, hetero_phy_link_factory
+from .rob import ReorderBuffer, RobOverflowError, rob_capacity
+from .scheduling import (
+    ApplicationAwarePolicy,
+    BalancedPolicy,
+    DispatchPolicy,
+    EnergyEfficientPolicy,
+    PassiveApplicationAwarePolicy,
+    PerformanceFirstPolicy,
+    make_dispatch_policy,
+)
+from .vt_model import HeteroVTCurve, VTCurve, hetero_curve, pin_constrained_hetero
+from .weighted_path import HopCostModel, make_cost_model
+
+__all__ = [
+    "AIB",
+    "BOW",
+    "SERDES",
+    "TABLE1",
+    "ApplicationAwarePolicy",
+    "BalancedPolicy",
+    "DispatchPolicy",
+    "EnergyEfficientPolicy",
+    "PassiveApplicationAwarePolicy",
+    "HeteroPhyLink",
+    "HeteroVTCurve",
+    "HopCostModel",
+    "InterfaceSpec",
+    "PerformanceFirstPolicy",
+    "ReorderBuffer",
+    "RobOverflowError",
+    "VTCurve",
+    "hetero_curve",
+    "hetero_phy_link_factory",
+    "lookup",
+    "make_cost_model",
+    "make_dispatch_policy",
+    "pin_constrained_hetero",
+    "rob_capacity",
+]

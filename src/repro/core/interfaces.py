@@ -1,0 +1,79 @@
+"""Die-to-die interface technology records (Table 1).
+
+Four representative interface standards anchor the paper's analysis:
+
+==========  =======  =============  ==========  =========
+Spec        SerDes   AIB            BoW         UCIe
+==========  =======  =============  ==========  =========
+Data rate   112      6.4            32          32        (Gbps/lane)
+Latency     5.5+     3.5            3+          2+        (ns, +digital/FEC)
+Power       2        0.5            0.7         0.3/1.25  (pJ/bit)
+Reach       50       10             50          2/25      (mm)
+==========  =======  =============  ==========  =========
+
+``to_phy`` converts a record into simulator link parameters (flits/cycle,
+cycles of delay) at a given on-chip clock — the "behavioural digital
+circuit in the same clock domain" modelling of Sec 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.channel import PhyParams
+from repro.noc.flit import FLIT_BITS
+
+#: Interface categories (Sec 2.2).
+SERIAL = "serial"
+PARALLEL = "parallel"
+COMPROMISED = "compromised"
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """One die-to-die interface technology."""
+
+    name: str
+    category: str
+    data_rate_gbps: float  # per lane
+    latency_ns: float  # physical-layer latency, excluding digital/FEC
+    digital_latency_ns: float  # L_D + FEC term where applicable
+    power_pj_per_bit: float
+    reach_mm: float
+
+    @property
+    def total_latency_ns(self) -> float:
+        return self.latency_ns + self.digital_latency_ns
+
+    def to_phy(self, clock_ghz: float, lanes: int) -> PhyParams:
+        """Simulator link parameters at an on-chip clock frequency.
+
+        Bandwidth is rounded down to whole flits/cycle (at least 1);
+        delay is rounded up to whole cycles.
+        """
+        if clock_ghz <= 0 or lanes < 1:
+            raise ValueError("clock_ghz must be > 0 and lanes >= 1")
+        bits_per_cycle = self.data_rate_gbps * lanes / clock_ghz
+        bandwidth = max(1, int(bits_per_cycle / FLIT_BITS))
+        delay = max(1, -(-int(self.total_latency_ns * clock_ghz * 1000) // 1000))
+        return PhyParams(bandwidth, delay, self.power_pj_per_bit)
+
+
+#: Table 1 records.  UCIe power/reach are given for the advanced /
+#: standard package variants; we record the standard-package figures and
+#: keep the advanced ones as a separate entry.
+SERDES = InterfaceSpec("SerDes", SERIAL, 112.0, 5.5, 2.0, 2.0, 50.0)
+AIB = InterfaceSpec("AIB", PARALLEL, 6.4, 3.5, 0.0, 0.5, 10.0)
+BOW = InterfaceSpec("BoW", COMPROMISED, 32.0, 3.0, 1.5, 0.7, 50.0)
+UCIE_STANDARD = InterfaceSpec("UCIe-S", COMPROMISED, 32.0, 2.0, 1.0, 1.25, 25.0)
+UCIE_ADVANCED = InterfaceSpec("UCIe-A", COMPROMISED, 32.0, 2.0, 1.0, 0.3, 2.0)
+
+TABLE1 = (SERDES, AIB, BOW, UCIE_STANDARD, UCIE_ADVANCED)
+
+
+def lookup(name: str) -> InterfaceSpec:
+    """Find a Table 1 interface by (case-insensitive) name."""
+    for spec in TABLE1:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise KeyError(f"no interface named {name!r}")

@@ -1,0 +1,21 @@
+"""Chiplet-reuse economics (the paper's flexibility-economy argument)."""
+
+from .reuse import (
+    HETERO_IF_AREA_OVERHEAD,
+    PackageCost,
+    PortfolioCost,
+    ProcessCost,
+    SystemClass,
+    portfolio_cost,
+    reuse_savings,
+)
+
+__all__ = [
+    "HETERO_IF_AREA_OVERHEAD",
+    "PackageCost",
+    "PortfolioCost",
+    "ProcessCost",
+    "SystemClass",
+    "portfolio_cost",
+    "reuse_savings",
+]

@@ -1,0 +1,179 @@
+"""Chiplet-reuse cost model (Motivation 1, Sec 2.1/4.3/10).
+
+The paper argues that the heterogeneous interface's biggest saving is
+*flexibility*: one chiplet design can be reused across systems of
+different scales and packaging classes, instead of re-designing a chiplet
+per scenario because its uniform interface fits only one interconnect
+style.  This module quantifies that argument with a simplified
+Chiplet-Actuary-style cost model [29]:
+
+* recurring die cost from wafer price and negative-binomial yield,
+* one-time design/tapeout (NRE) cost amortized over volume,
+* package cost per system (standard organic substrate vs silicon
+  interposer, area-based),
+
+and compares two strategies over a portfolio of target systems:
+
+``uniform``   — each system class needs its own chiplet tapeout (its
+                interface dictates the packaging/topology fit);
+``hetero-IF`` — one chiplet (slightly larger: two PHYs) serves every
+                system class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProcessCost:
+    """Technology cost assumptions (defaults roughly 7nm-class)."""
+
+    wafer_cost_usd: float = 9_000.0
+    wafer_diameter_mm: float = 300.0
+    defect_density_per_mm2: float = 0.001
+    yield_clustering: float = 2.0  # negative-binomial alpha
+    nre_usd_per_mm2: float = 800_000.0  # design+verification+mask amortizable
+    nre_base_usd: float = 20_000_000.0  # per-tapeout fixed cost
+
+    def dies_per_wafer(self, die_area_mm2: float) -> int:
+        """Classic dies-per-wafer estimate with edge loss."""
+        if die_area_mm2 <= 0:
+            raise ValueError("die area must be > 0")
+        import math
+
+        d = self.wafer_diameter_mm
+        return max(
+            1,
+            int(
+                math.pi * (d / 2) ** 2 / die_area_mm2
+                - math.pi * d / math.sqrt(2 * die_area_mm2)
+            ),
+        ) if die_area_mm2 < math.pi * (d / 2) ** 2 else 1
+
+    def die_yield(self, die_area_mm2: float) -> float:
+        """Negative-binomial yield model."""
+        a = self.yield_clustering
+        d0 = self.defect_density_per_mm2
+        return (1 + die_area_mm2 * d0 / a) ** (-a)
+
+    def die_cost(self, die_area_mm2: float) -> float:
+        """Recurring cost of one good die."""
+        per_die = self.wafer_cost_usd / self.dies_per_wafer(die_area_mm2)
+        return per_die / self.die_yield(die_area_mm2)
+
+    def nre(self, die_area_mm2: float) -> float:
+        """One-time cost of taping out one chiplet design."""
+        return self.nre_base_usd + self.nre_usd_per_mm2 * die_area_mm2
+
+
+@dataclass(frozen=True)
+class PackageCost:
+    """Per-system packaging cost assumptions."""
+
+    substrate_usd_per_mm2: float = 0.02
+    interposer_usd_per_mm2: float = 0.35
+    base_usd: float = 5.0
+
+    def cost(self, area_mm2: float, *, interposer: bool) -> float:
+        rate = self.interposer_usd_per_mm2 if interposer else self.substrate_usd_per_mm2
+        return self.base_usd + rate * area_mm2
+
+
+@dataclass(frozen=True)
+class SystemClass:
+    """One target system in the portfolio (Fig 2 scenarios)."""
+
+    name: str
+    n_chiplets: int
+    volume: int  # units to ship
+    needs_interposer: bool  # parallel-IF systems need advanced packaging
+    package_overhead: float = 1.8  # package area / total silicon area
+
+
+@dataclass
+class PortfolioCost:
+    """Cost breakdown of serving a portfolio with a chiplet strategy."""
+
+    strategy: str
+    nre_usd: float = 0.0
+    silicon_usd: float = 0.0
+    package_usd: float = 0.0
+    systems: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_usd(self) -> float:
+        return self.nre_usd + self.silicon_usd + self.package_usd
+
+
+#: Area overhead of carrying both PHYs on the hetero-IF chiplet (Sec 4.3:
+#: the deprecated interface "wastes some chip area" in exclusive mode).
+HETERO_IF_AREA_OVERHEAD = 0.06
+
+
+def portfolio_cost(
+    systems: list[SystemClass],
+    chiplet_area_mm2: float,
+    *,
+    strategy: str,
+    process: ProcessCost | None = None,
+    package: PackageCost | None = None,
+) -> PortfolioCost:
+    """Total cost of shipping the portfolio under a chiplet strategy.
+
+    ``strategy="uniform"``: one dedicated tapeout per system class (the
+    chiplet's uniform interface matches exactly one packaging/topology
+    style).  ``strategy="hetero"``: a single tapeout, with
+    :data:`HETERO_IF_AREA_OVERHEAD` extra area for the second PHY, reused
+    by every system class.
+    """
+    if strategy not in ("uniform", "hetero"):
+        raise ValueError("strategy must be 'uniform' or 'hetero'")
+    process = process or ProcessCost()
+    package = package or PackageCost()
+    result = PortfolioCost(strategy)
+    if strategy == "hetero":
+        area = chiplet_area_mm2 * (1 + HETERO_IF_AREA_OVERHEAD)
+        result.nre_usd = process.nre(area)
+        die_cost = process.die_cost(area)
+    else:
+        area = chiplet_area_mm2
+        result.nre_usd = process.nre(area) * len(systems)
+        die_cost = process.die_cost(area)
+    for system in systems:
+        silicon = die_cost * system.n_chiplets * system.volume
+        pkg_area = area * system.n_chiplets * system.package_overhead
+        pkg = package.cost(pkg_area, interposer=system.needs_interposer) * system.volume
+        result.silicon_usd += silicon
+        result.package_usd += pkg
+        result.systems[system.name] = silicon + pkg
+    return result
+
+
+def reuse_savings(
+    systems: list[SystemClass],
+    chiplet_area_mm2: float,
+    *,
+    process: ProcessCost | None = None,
+    package: PackageCost | None = None,
+) -> dict[str, float]:
+    """Compare the two strategies; positive saving favours hetero-IF.
+
+    Returns total costs and the relative saving.  With several system
+    classes, amortizing one tapeout across the portfolio dominates the
+    small per-die area overhead — "flexibility itself is the most
+    significant cost saving" (Sec 4.3).
+    """
+    uniform = portfolio_cost(
+        systems, chiplet_area_mm2, strategy="uniform", process=process, package=package
+    )
+    hetero = portfolio_cost(
+        systems, chiplet_area_mm2, strategy="hetero", process=process, package=package
+    )
+    saving = uniform.total_usd - hetero.total_usd
+    return {
+        "uniform_total_usd": uniform.total_usd,
+        "hetero_total_usd": hetero.total_usd,
+        "saving_usd": saving,
+        "saving_fraction": saving / uniform.total_usd if uniform.total_usd else 0.0,
+    }

@@ -1,0 +1,5 @@
+"""Energy accounting helpers (Sec 8.3)."""
+
+from .model import EnergyReport, energy_report
+
+__all__ = ["EnergyReport", "energy_report"]

@@ -1,0 +1,40 @@
+"""Energy reporting helpers (Sec 8.3).
+
+Per-flit link energy is accounted on the fly by the links (parallel
+1 pJ/bit, serial 2.4 pJ/bit, on-chip 0.1 pJ/bit by default); this module
+turns the raw counters of a finished run into the per-packet breakdown
+the paper's Fig 16-18 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import Stats
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Average per-packet energy, split the way the figures split it."""
+
+    onchip_pj: float
+    interface_pj: float
+    packets: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.onchip_pj + self.interface_pj
+
+    @property
+    def interface_share(self) -> float:
+        total = self.total_pj
+        return self.interface_pj / total if total else 0.0
+
+
+def energy_report(stats: Stats) -> EnergyReport:
+    """Summarize a run's measured per-packet energy."""
+    return EnergyReport(
+        onchip_pj=stats.avg_energy_onchip_pj,
+        interface_pj=stats.avg_energy_interface_pj,
+        packets=stats.packets_delivered,
+    )

@@ -1,0 +1,40 @@
+"""Per-figure experiment modules.
+
+Each module exposes ``run(scale) -> ExperimentResult`` regenerating the
+numeric series behind one table or figure of the paper's evaluation.
+``EXPERIMENTS`` maps experiment ids to their runners (used by the CLI and
+the benchmark harness).
+"""
+
+from . import (
+    fig8,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+    table3,
+    table4,
+)
+from .common import ExperimentResult, current_scale
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig8": fig8.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "current_scale"]

@@ -1,0 +1,160 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment module exposes ``run(scale) -> ExperimentResult`` where
+``scale`` is one of:
+
+``"tiny"``
+    Seconds-scale smoke configuration (used by the test suite).
+``"small"``
+    Minutes-scale configuration preserving the qualitative shape (the
+    default for benchmarks).
+``"paper"``
+    The paper's full configuration (Table 2 horizons, full system sizes).
+    Select it with the environment variable ``REPRO_SCALE=paper`` (or
+    ``REPRO_FULL_SCALE=1``).
+
+Results are plain tables: the numeric series behind each figure, printed
+as aligned text and exportable as CSV.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from repro.sim.config import SimConfig
+
+SCALES = ("tiny", "small", "paper")
+
+
+def current_scale(default: str = "small") -> str:
+    """The experiment scale selected via environment variables."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return "paper"
+    scale = os.environ.get("REPRO_SCALE", default)
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+#: Simulation horizons per scale: (cycles, warm-up).
+HORIZONS = {
+    "tiny": (2_000, 400),
+    "small": (6_000, 1_000),
+    "paper": (100_000, 10_000),  # Table 2
+}
+
+
+def scaled_config(scale: str, base: SimConfig | None = None) -> SimConfig:
+    """Table 2 configuration with the scale's simulation horizon."""
+    cycles, warmup = HORIZONS[scale]
+    base = base or SimConfig()
+    return base.replace(sim_cycles=cycles, warmup_cycles=warmup)
+
+
+@dataclass
+class ExperimentResult:
+    """The numeric series behind one paper table or figure."""
+
+    name: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.headers)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **matches) -> list[tuple]:
+        """Rows whose named columns equal the given values."""
+        idx = {h: self.headers.index(h) for h in matches}
+        return [
+            row
+            for row in self.rows
+            if all(row[idx[h]] == v for h, v in matches.items())
+        ]
+
+    def value(self, value_header: str, **matches):
+        """The single value of one column in the uniquely matching row."""
+        rows = self.filtered(**matches)
+        if len(rows) != 1:
+            raise ValueError(f"expected exactly one row for {matches}, got {len(rows)}")
+        return rows[0][self.headers.index(value_header)]
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def format(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(",".join(_fmt(v) for v in row))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "sat"  # a saturated/unmeasurable point
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def phy_network_specs(grid, config) -> list[tuple[str, object]]:
+    """The four networks compared in the hetero-PHY figures (Sec 8.1.1).
+
+    Baselines use the full-bandwidth standard interfaces; the halved
+    hetero-IF combines two halved standard interfaces to keep the total
+    I/O pin count of a single standard interface (Sec 7.2).
+    """
+    from repro.topology.system import build_system
+
+    return [
+        ("parallel-mesh", build_system("parallel_mesh", grid, config)),
+        ("serial-torus", build_system("serial_torus", grid, config)),
+        ("hetero-phy-full", build_system("hetero_phy_torus", grid, config)),
+        ("hetero-phy-half", build_system("hetero_phy_torus", grid, config.halved())),
+    ]
+
+
+def channel_network_specs(grid, config) -> list[tuple[str, object]]:
+    """The four networks compared in the hetero-channel figures (Sec 8.1.2)."""
+    from repro.topology.system import build_system
+
+    return [
+        ("parallel-mesh", build_system("parallel_mesh", grid, config)),
+        ("serial-hypercube", build_system("serial_hypercube", grid, config)),
+        ("hetero-channel-full", build_system("hetero_channel", grid, config)),
+        ("hetero-channel-half", build_system("hetero_channel", grid, config.halved())),
+    ]
+
+
+def reduction(baseline: float, value: float) -> float:
+    """Relative reduction of ``value`` vs ``baseline`` (positive = better)."""
+    if baseline == 0 or math.isnan(baseline) or math.isnan(value):
+        return math.nan
+    return (baseline - value) / baseline

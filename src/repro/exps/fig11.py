@@ -1,0 +1,50 @@
+"""Fig 11: hetero-PHY network performance on synthetic traffic patterns.
+
+Four networks — uniform-parallel 2D-mesh, uniform-serial 2D-torus,
+hetero-PHY 2D-torus at full and at halved (pin-constrained) bandwidth —
+under the six patterns of Sec 7.2, sweeping the injection rate.  The
+paper's medium-scale system is 4x4 chiplets of 4x4 nodes (256 nodes).
+
+Expected shape: the serial torus pays its 20-cycle interface delay at low
+load; the parallel mesh saturates earliest (long diameter, low bisection);
+the full-bandwidth hetero-PHY torus has both the best low-load latency and
+the best saturation rate, while the halved variant loses throughput on
+wrap-heavy patterns because its wraparound links are halved serial-only.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import latency_rate_sweep
+from repro.topology.grid import ChipletGrid
+from repro.traffic.patterns import FIGURE_PATTERNS
+from .common import ExperimentResult, phy_network_specs, scaled_config
+
+GRIDS = {
+    "tiny": ChipletGrid(2, 2, 4, 4),
+    "small": ChipletGrid(4, 4, 4, 4),
+    "paper": ChipletGrid(4, 4, 4, 4),
+}
+
+RATES = {
+    "tiny": (0.05, 0.15, 0.30),
+    "small": (0.05, 0.10, 0.20, 0.30),
+    "paper": (0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40),
+}
+
+
+def run(scale: str = "small", patterns=FIGURE_PATTERNS) -> ExperimentResult:
+    grid = GRIDS[scale]
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig11",
+        title=f"hetero-PHY latency vs injection rate, {grid.n_nodes} nodes",
+        headers=("pattern", "network", "rate", "avg_latency", "delivered"),
+    )
+    for pattern in patterns:
+        for label, spec in phy_network_specs(grid, config):
+            points = latency_rate_sweep(spec, pattern, RATES[scale])
+            for point in points:
+                result.add(
+                    pattern, label, point.rate, point.avg_latency, point.delivered_fraction
+                )
+    return result

@@ -1,0 +1,51 @@
+"""Fig 12: hetero-PHY network performance on PARSEC traces.
+
+The Netrace traces come from 64-core multiprocessors, so the paper
+evaluates the same scale: 4x4 chiplets of 2x2 nodes (64 nodes).  We replay
+synthetic Netrace-like traces (see :mod:`repro.traffic.parsec`) on the
+same four networks as Fig 11 and report mean latency and its standard
+deviation (the paper notes hetero-IF lowers the latency *variance* too).
+
+Expected shape: at 64 nodes the serial interface delay dominates, so the
+uniform-parallel mesh beats the uniform-serial torus; the hetero-PHY torus
+beats both, and full vs halved bandwidth barely differ because wraparound
+packets are a small fraction of PARSEC traffic.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import run_trace
+from repro.topology.grid import ChipletGrid
+from repro.traffic.parsec import PARSEC_PROFILES, generate_parsec_trace
+from .common import ExperimentResult, phy_network_specs, scaled_config
+
+#: 64-node system matching the 64-core traces (all scales).
+GRID = ChipletGrid(4, 4, 2, 2)
+
+APPS = {
+    "tiny": ("blackscholes", "canneal", "x264"),
+    "small": tuple(sorted(PARSEC_PROFILES)),
+    "paper": tuple(sorted(PARSEC_PROFILES)),
+}
+
+DURATIONS = {"tiny": 2_000, "small": 6_000, "paper": 60_000}
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig12",
+        title="hetero-PHY avg latency on PARSEC traces, 64 nodes",
+        headers=("app", "network", "avg_latency", "latency_stddev"),
+    )
+    for app in APPS[scale]:
+        trace = generate_parsec_trace(app, GRID, DURATIONS[scale])
+        for label, spec in phy_network_specs(GRID, config):
+            run_result = run_trace(spec, trace, strict=False)
+            result.add(
+                app,
+                label,
+                run_result.stats.avg_latency,
+                run_result.stats.latency_stddev,
+            )
+    return result

@@ -1,0 +1,67 @@
+"""Fig 13: hetero-PHY network performance on HPC traces (CNS, MOC).
+
+The paper's large-scale system is 6x6 chiplets of 6x6 nodes (1296 nodes)
+replaying 1024-rank DUMPI traces.  The injection-rate axis is produced by
+time-scaling the trace (compressing the timeline raises the offered load
+without changing communication structure).
+
+Expected shape (Sec 8.1.1): for CNS the hetero-PHY torus has better
+throughput than the parallel mesh and better latency than the serial
+torus; for MOC the hetero-PHY torus keeps the latency advantage but the
+saturation scale of the full-bandwidth networks coincides, and the
+half-bandwidth system saturates at roughly half the scale (interface
+fully used).
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import run_trace
+from repro.topology.grid import ChipletGrid
+from repro.traffic.hpc import embed_ranks, generate_cns_trace, generate_moc_trace
+from .common import ExperimentResult, phy_network_specs, scaled_config
+
+SETUPS = {
+    # grid, ranks, cns iterations, moc iterations, time scales
+    "tiny": (ChipletGrid(2, 2, 4, 4), 64, 3, 2, (1.0, 2.0)),
+    "small": (ChipletGrid(4, 4, 4, 4), 256, 5, 3, (0.5, 1.0, 2.0)),
+    "paper": (ChipletGrid(6, 6, 6, 6), 1024, 20, 12, (0.25, 0.5, 1.0, 2.0, 4.0)),
+}
+
+
+def traces(scale: str):
+    grid, ranks, cns_iters, moc_iters, time_scales = SETUPS[scale]
+    cns = embed_ranks(generate_cns_trace(ranks, cns_iters), grid)
+    moc = embed_ranks(generate_moc_trace(ranks, moc_iters), grid)
+    return grid, (cns, moc), time_scales
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    grid, base_traces, time_scales = traces(scale)
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig13",
+        title=f"hetero-PHY latency on HPC traces, {grid.n_nodes} nodes",
+        headers=(
+            "trace",
+            "network",
+            "time_scale",
+            "offered_load",
+            "avg_latency",
+            "delivered",
+        ),
+    )
+    for base in base_traces:
+        for time_scale in time_scales:
+            trace = base.scaled(time_scale)
+            load = trace.offered_load(grid.n_nodes)
+            for label, spec in phy_network_specs(grid, config):
+                run_result = run_trace(spec, trace, strict=False)
+                result.add(
+                    base.name,
+                    label,
+                    time_scale,
+                    load,
+                    run_result.stats.avg_latency,
+                    run_result.stats.delivered_fraction,
+                )
+    return result

@@ -1,0 +1,50 @@
+"""Fig 14: hetero-channel network performance on synthetic patterns.
+
+Four networks — uniform-parallel 2D-mesh, uniform-serial hypercube
+(minus-first routing, [30]), hetero-channel (Algorithm 1 + Eq 5 balanced
+selection) at full and at halved bandwidth — on the paper's wafer-scale
+system: 8x8 chiplets of 7x7 nodes (3136 nodes).
+
+Expected shape (Sec 8.1.2): the hypercube beats the mesh on every
+pattern; the hetero-channel network beats even the serial-only hypercube
+because packets approaching the destination can finish over the
+low-latency parallel mesh, and halving the interfaces barely hurts since
+high-radix topologies need less per-link bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import latency_rate_sweep
+from repro.topology.grid import ChipletGrid
+from repro.traffic.patterns import FIGURE_PATTERNS
+from .common import ExperimentResult, channel_network_specs, scaled_config
+
+GRIDS = {
+    "tiny": ChipletGrid(2, 2, 3, 3),
+    "small": ChipletGrid(4, 4, 4, 4),
+    "paper": ChipletGrid(8, 8, 7, 7),
+}
+
+RATES = {
+    "tiny": (0.05, 0.15, 0.30),
+    "small": (0.05, 0.10, 0.20, 0.30),
+    "paper": (0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+}
+
+
+def run(scale: str = "small", patterns=FIGURE_PATTERNS) -> ExperimentResult:
+    grid = GRIDS[scale]
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig14",
+        title=f"hetero-channel latency vs injection rate, {grid.n_nodes} nodes",
+        headers=("pattern", "network", "rate", "avg_latency", "delivered"),
+    )
+    for pattern in patterns:
+        for label, spec in channel_network_specs(grid, config):
+            points = latency_rate_sweep(spec, pattern, RATES[scale])
+            for point in points:
+                result.add(
+                    pattern, label, point.rate, point.avg_latency, point.delivered_fraction
+                )
+    return result

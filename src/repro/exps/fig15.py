@@ -1,0 +1,60 @@
+"""Fig 15: hetero-channel network performance on HPC traces.
+
+Same networks as Fig 14; the HPC ranks are embedded onto the *core*
+(non-interface) nodes of each chiplet (Sec 8.1.2), so every message must
+cross part of the on-chip mesh before reaching an interface.
+
+Expected shape: for CNS the hetero-channel network has better throughput
+and latency; for MOC it matches the parallel mesh's throughput while
+keeping a latency advantage, and halving the interfaces does not hurt.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import run_trace
+from repro.topology.grid import ChipletGrid
+from repro.traffic.hpc import embed_ranks, generate_cns_trace, generate_moc_trace
+from .common import ExperimentResult, channel_network_specs, scaled_config
+
+SETUPS = {
+    # grid, ranks, cns iters, moc iters, time scales
+    "tiny": (ChipletGrid(2, 2, 4, 4), 16, 3, 2, (1.0, 2.0)),
+    "small": (ChipletGrid(4, 4, 4, 4), 64, 5, 3, (0.5, 1.0, 2.0)),
+    "paper": (ChipletGrid(8, 8, 7, 7), 1024, 20, 12, (0.25, 0.5, 1.0, 2.0, 4.0)),
+}
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    grid, ranks, cns_iters, moc_iters, time_scales = SETUPS[scale]
+    config = scaled_config(scale)
+    base_traces = (
+        embed_ranks(generate_cns_trace(ranks, cns_iters), grid, core_only=True),
+        embed_ranks(generate_moc_trace(ranks, moc_iters), grid, core_only=True),
+    )
+    result = ExperimentResult(
+        name="fig15",
+        title=f"hetero-channel latency on HPC traces, {grid.n_nodes} nodes (core-node ranks)",
+        headers=(
+            "trace",
+            "network",
+            "time_scale",
+            "offered_load",
+            "avg_latency",
+            "delivered",
+        ),
+    )
+    for base in base_traces:
+        for time_scale in time_scales:
+            trace = base.scaled(time_scale)
+            load = trace.offered_load(grid.n_nodes)
+            for label, spec in channel_network_specs(grid, config):
+                run_result = run_trace(spec, trace, strict=False)
+                result.add(
+                    base.name,
+                    label,
+                    time_scale,
+                    load,
+                    run_result.stats.avg_latency,
+                    run_result.stats.delivered_fraction,
+                )
+    return result

@@ -1,0 +1,68 @@
+"""Fig 17: average packet energy under HPC traffic (MOC traces).
+
+Same topologies and scales as the performance evaluations (Sec 8.1); the
+MOC trace is replayed and per-packet link energy averaged.
+
+Paper results: the hetero-PHY network consumes ~9% less than the
+uniform-parallel mesh; the hetero-channel network with energy-efficient
+scheduling consumes ~27% / ~10% less than uniform-parallel /
+uniform-serial.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import run_trace
+from repro.traffic.hpc import embed_ranks, generate_moc_trace
+from .common import ExperimentResult, channel_network_specs, phy_network_specs, scaled_config
+from .fig13 import SETUPS as PHY_SETUPS
+from .fig15 import SETUPS as CHANNEL_SETUPS
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig17",
+        title="avg energy per packet on MOC traces (pJ)",
+        headers=("group", "network", "policy", "onchip_pj", "interface_pj", "total_pj"),
+    )
+
+    def record(group: str, label: str, spec, trace, policy=None) -> None:
+        run_result = run_trace(spec, trace, policy=policy, strict=False)
+        stats = run_result.stats
+        result.add(
+            group,
+            label,
+            policy or spec.config.scheduling_policy,
+            stats.avg_energy_onchip_pj,
+            stats.avg_energy_interface_pj,
+            stats.avg_energy_pj,
+        )
+
+    phy_grid, phy_ranks, _cns, moc_iters, _scales = PHY_SETUPS[scale]
+    phy_trace = embed_ranks(generate_moc_trace(phy_ranks, moc_iters), phy_grid)
+    phy_specs = dict(phy_network_specs(phy_grid, config))
+    record("hetero-phy", "parallel-mesh", phy_specs["parallel-mesh"], phy_trace)
+    record("hetero-phy", "serial-torus", phy_specs["serial-torus"], phy_trace)
+    record("hetero-phy", "hetero-phy", phy_specs["hetero-phy-full"], phy_trace)
+    record(
+        "hetero-phy",
+        "hetero-phy",
+        phy_specs["hetero-phy-full"],
+        phy_trace,
+        policy="energy_efficient",
+    )
+
+    ch_grid, ch_ranks, _cns, ch_moc_iters, _scales = CHANNEL_SETUPS[scale]
+    ch_trace = embed_ranks(generate_moc_trace(ch_ranks, ch_moc_iters), ch_grid, core_only=True)
+    ch_specs = dict(channel_network_specs(ch_grid, config))
+    record("hetero-channel", "parallel-mesh", ch_specs["parallel-mesh"], ch_trace)
+    record("hetero-channel", "serial-hypercube", ch_specs["serial-hypercube"], ch_trace)
+    record("hetero-channel", "hetero-channel", ch_specs["hetero-channel-full"], ch_trace)
+    record(
+        "hetero-channel",
+        "hetero-channel",
+        ch_specs["hetero-channel-full"],
+        ch_trace,
+        policy="energy_efficient",
+    )
+    return result

@@ -1,0 +1,59 @@
+"""Fig 18: energy flexibility across local-communication scales.
+
+Uniform traffic at 0.01 flits/cycle/node restricted to aligned
+``span x span`` node neighbourhoods; the span sweeps from very local
+(2x2) up to the full machine.  Modern HPC systems mix such local traffic
+with global traffic, and a uniform serial interface wastes energy on
+short-reach communication.
+
+Expected shape: at small spans the uniform-serial system pays serial
+energy for neighbour talk (poor), the parallel mesh is efficient, and the
+hetero-IF systems match the parallel mesh by dispatching locally over the
+parallel PHY; at full scale the relation flips (serial's fewer hops win)
+and hetero-IF matches the serial systems — best or near-best at *every*
+scale.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiment import run_synthetic
+from repro.topology.grid import ChipletGrid
+from .common import ExperimentResult, phy_network_specs, scaled_config
+
+RATE = 0.01
+
+GRIDS = {
+    "tiny": ChipletGrid(2, 2, 4, 4),
+    "small": ChipletGrid(4, 4, 4, 4),
+    "paper": ChipletGrid(6, 6, 6, 6),
+}
+
+
+def spans_for(grid: ChipletGrid) -> list[int]:
+    spans = []
+    span = 2
+    while span < grid.width:
+        spans.append(span)
+        span *= 2
+    spans.append(grid.width)  # full-scale traffic
+    return spans
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    grid = GRIDS[scale]
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="fig18",
+        title=f"avg energy per packet vs local-communication span, {grid.n_nodes} nodes",
+        headers=("span", "network", "total_pj", "avg_latency"),
+    )
+    for span in spans_for(grid):
+        for label, spec in phy_network_specs(grid, config)[:3]:
+            run_result = run_synthetic(
+                spec,
+                "local",
+                RATE,
+                pattern_kwargs={"grid": grid, "span": span},
+            )
+            result.add(span, label, run_result.avg_energy_pj, run_result.avg_latency)
+    return result

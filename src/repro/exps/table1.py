@@ -1,0 +1,40 @@
+"""Table 1: specification of typical die-to-die interfaces.
+
+Static reference data (Sec 2.2) exposed as an experiment for completeness;
+it also derives the simulator link parameters each technology maps to at
+a 1 GHz on-chip clock, connecting Table 1 to Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import TABLE1
+from .common import ExperimentResult
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    del scale  # static data
+    result = ExperimentResult(
+        name="table1",
+        title="die-to-die interface specifications",
+        headers=(
+            "interface",
+            "category",
+            "gbps_per_lane",
+            "latency_ns",
+            "pj_per_bit",
+            "reach_mm",
+            "flits_per_cycle_x16@1GHz",
+        ),
+    )
+    for spec in TABLE1:
+        phy = spec.to_phy(clock_ghz=1.0, lanes=16)
+        result.add(
+            spec.name,
+            spec.category,
+            spec.data_rate_gbps,
+            spec.total_latency_ns,
+            spec.power_pj_per_bit,
+            spec.reach_mm,
+            phy.bandwidth,
+        )
+    return result

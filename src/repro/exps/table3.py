@@ -1,0 +1,81 @@
+"""Table 3: scalability — average latency reduction of hetero-IF.
+
+Uniform traffic at 0.1 flits/cycle/node on five systems of different
+on-chip and off-chip scales; the table reports how much lower the
+hetero-IF networks' average latency is compared with the
+uniform-parallel-IF and uniform-serial-IF baselines.
+
+Paper values (hetero-PHY vs parallel / serial; hetero-channel likewise):
+
+=============  ===============  ===============
+Scale          Hetero-PHY       Hetero-Channel
+=============  ===============  ===============
+4 x (2x2)      17.3% / 21.7%    -
+16 x (2x2)     17.5% / 30.0%    -
+16 x (4x4)     16.4% / 21.8%    9.6% / 22.2%
+16 x (6x6)     19.3% / 17.9%    15.5% / 19.8%
+64 x (7x7)     35.8% / 20.5%    46.4% / 13.1%
+=============  ===============  ===============
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.experiment import run_synthetic
+from repro.topology.grid import ChipletGrid
+from .common import (
+    ExperimentResult,
+    channel_network_specs,
+    phy_network_specs,
+    reduction,
+    scaled_config,
+)
+
+#: The five paper scales: label -> (grid, evaluate hetero-channel too).
+#: Hetero-channel needs the larger systems (the paper leaves the two
+#: smallest rows blank for it).
+PAPER_SCALES = [
+    ("4x(2x2)", ChipletGrid(2, 2, 2, 2), False),
+    ("16x(2x2)", ChipletGrid(4, 4, 2, 2), False),
+    ("16x(4x4)", ChipletGrid(4, 4, 4, 4), True),
+    ("16x(6x6)", ChipletGrid(4, 4, 6, 6), True),
+    ("64x(7x7)", ChipletGrid(8, 8, 7, 7), True),
+]
+
+SCALE_COUNTS = {"tiny": 2, "small": 4, "paper": 5}
+
+RATE = 0.1  # flits/cycle/node (Sec 8.1.3)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        name="table3",
+        title="avg latency reduction of hetero-IF vs uniform-parallel / uniform-serial",
+        headers=(
+            "scale",
+            "hphy_vs_parallel",
+            "hphy_vs_serial",
+            "hch_vs_parallel",
+            "hch_vs_serial",
+        ),
+    )
+    for label, grid, with_channel in PAPER_SCALES[: SCALE_COUNTS[scale]]:
+        latencies = {
+            name: run_synthetic(spec, "uniform", RATE).avg_latency
+            for name, spec in phy_network_specs(grid, config)[:3]
+        }
+        hphy_vs_p = reduction(latencies["parallel-mesh"], latencies["hetero-phy-full"])
+        hphy_vs_s = reduction(latencies["serial-torus"], latencies["hetero-phy-full"])
+        hch_vs_p = hch_vs_s = math.nan
+        if with_channel:
+            ch = {
+                name: run_synthetic(spec, "uniform", RATE).avg_latency
+                for name, spec in channel_network_specs(grid, config)[:3]
+            }
+            hch_vs_p = reduction(ch["parallel-mesh"], ch["hetero-channel-full"])
+            hch_vs_s = reduction(ch["serial-hypercube"], ch["hetero-channel-full"])
+        result.add(label, hphy_vs_p, hphy_vs_s, hch_vs_p, hch_vs_s)
+    result.notes.append("values are fractions: 0.17 = 17.3% lower latency")
+    return result

@@ -1,0 +1,49 @@
+"""Table 4: post-synthesis analysis of the adapter and router circuits.
+
+The paper synthesizes the RX/TX adapters and the regular/heterogeneous
+routers at TSMC-12nm.  We reproduce the table with the structural
+estimator of :mod:`repro.circuits.synthesis` and report the estimated
+figures next to the paper's, plus the headline overhead ratios (the
+heterogeneous router costs ~45% more area and ~33% more power).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.synthesis import TABLE4_PAPER, table4
+from .common import ExperimentResult
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    del scale  # analytic - scale-independent
+    results = table4()
+    result = ExperimentResult(
+        name="table4",
+        title="post-synthesis estimates vs paper (TSMC-12nm)",
+        headers=(
+            "module",
+            "area_um2",
+            "paper_area",
+            "power_mw",
+            "paper_power",
+            "fmax_ghz",
+            "paper_fmax",
+        ),
+    )
+    for name, estimate in results.items():
+        paper = TABLE4_PAPER[name]
+        result.add(
+            name,
+            estimate.area_um2,
+            paper["area_um2"],
+            estimate.power_mw,
+            paper["power_mw"],
+            estimate.fmax_ghz,
+            1.0 / paper["critical_path_ns"],
+        )
+    hetero = results["hetero_router"]
+    regular = results["router"]
+    result.notes.append(
+        f"hetero router overhead: area +{hetero.area_um2 / regular.area_um2 - 1:.0%} "
+        f"(paper +45%), power +{hetero.power_mw / regular.power_mw - 1:.0%} (paper +33%)"
+    )
+    return result

@@ -1,0 +1,30 @@
+"""Cycle-accurate network-on-chip substrate.
+
+Flits and packets, virtual-channel routers (RC/VA/SA/ST pipeline with
+credit-based flow control and whole-packet virtual cut-through
+allocation), pipelined links that model die-to-die interfaces as virtual
+pipelines in the on-chip clock domain, and the network container with its
+activity-tracking cycle loop.
+"""
+
+from .channel import ChannelKind, ChannelSpec, PhyParams
+from .flit import FLIT_BITS, Flit, Packet
+from .link import Link, PipelinedLink
+from .network import Network
+from .router import Candidate, Router
+from .tracing import RouteTracer
+
+__all__ = [
+    "Candidate",
+    "ChannelKind",
+    "ChannelSpec",
+    "FLIT_BITS",
+    "Flit",
+    "Link",
+    "Network",
+    "Packet",
+    "PhyParams",
+    "PipelinedLink",
+    "RouteTracer",
+    "Router",
+]

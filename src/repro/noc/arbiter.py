@@ -1,0 +1,50 @@
+"""Arbitration helpers.
+
+Rotating (round-robin) arbitration is what the canonical VC router of the
+paper's simulator uses for VC and switch allocation (Sec 7.1, [21]).
+:class:`RoundRobin` is the reference implementation; the router inlines
+the equivalent pointer logic on its hot path, and the equivalence is
+pinned by the arbitration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RoundRobin:
+    """A rotating-priority pointer over ``size`` contenders.
+
+    ``order()`` yields indices starting at the current pointer;
+    ``grant(i)`` advances the pointer past the winner so it has lowest
+    priority next time.
+    """
+
+    __slots__ = ("size", "_next")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("round-robin arbiter needs at least one contender")
+        self.size = size
+        self._next = 0
+
+    def order(self) -> Iterable[int]:
+        start = self._next
+        size = self.size
+        for offset in range(size):
+            yield (start + offset) % size
+
+    def grant(self, winner: int) -> None:
+        if not 0 <= winner < self.size:
+            raise ValueError(f"winner {winner} out of range 0..{self.size - 1}")
+        self._next = (winner + 1) % self.size
+
+
+def rotate(items: Sequence[T], start: int) -> list[T]:
+    """Return ``items`` rotated so that index ``start`` comes first."""
+    if not items:
+        return []
+    start %= len(items)
+    return list(items[start:]) + list(items[:start])

@@ -1,0 +1,131 @@
+"""Physical channel descriptions.
+
+A :class:`ChannelSpec` describes one *directed* physical channel between two
+routers: its physical kind (on-chip wire, parallel interface, serial
+interface, or a bonded hetero-PHY pair), bandwidth, delay, per-bit energy,
+and the buffering on the receiving side.  Topology builders create specs;
+the network instantiates one link object per spec.
+
+Parameter defaults follow Table 2 of the paper and the energy figures of
+Sec 8.3 (parallel 1 pJ/bit, serial 2.4 pJ/bit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+
+class ChannelKind(enum.Enum):
+    """Physical implementation of a channel."""
+
+    ONCHIP = "onchip"
+    PARALLEL = "parallel"
+    SERIAL = "serial"
+    #: A hetero-PHY bonded channel: one logical channel carried by a parallel
+    #: PHY and a serial PHY together (Sec 3.1 / Fig 5b).
+    HETERO_PHY = "hetero_phy"
+
+
+#: Channel kinds that cross a die boundary.
+INTERFACE_KINDS = frozenset(
+    {ChannelKind.PARALLEL, ChannelKind.SERIAL, ChannelKind.HETERO_PHY}
+)
+
+#: Stable small-integer ids for fast per-kind accounting.
+KIND_IDS = {
+    ChannelKind.ONCHIP: 0,
+    ChannelKind.PARALLEL: 1,
+    ChannelKind.SERIAL: 2,
+    ChannelKind.HETERO_PHY: 3,
+}
+KINDS_BY_ID = tuple(kind for kind, _ in sorted(KIND_IDS.items(), key=lambda kv: kv[1]))
+
+
+@dataclass
+class PhyParams:
+    """Parameters of one physical PHY lane bundle."""
+
+    bandwidth: int  # flits per cycle
+    delay: int  # cycles of propagation through the interface pipeline
+    energy_pj_per_bit: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 1:
+            raise ValueError(f"bandwidth must be >= 1, got {self.bandwidth}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+
+@dataclass
+class ChannelSpec:
+    """One directed channel of the interconnection network.
+
+    Attributes
+    ----------
+    src, dst:
+        Global node ids of the transmitting and receiving routers.
+    kind:
+        Physical kind; determines energy accounting and which routing
+        sub-network the channel belongs to.
+    phy:
+        Bandwidth/delay/energy of the channel.  For ``HETERO_PHY`` channels
+        this field describes the *parallel* component and ``serial_phy`` the
+        serial component.
+    serial_phy:
+        Serial component of a hetero-PHY channel; None otherwise.
+    n_vcs:
+        Number of virtual channels (buffers) on the receiving input port.
+    buffer_depth:
+        Flit capacity of each receiving virtual-channel buffer.
+    tag:
+        Topology label consumed by routing functions, e.g. ``("mesh", "E")``
+        or ``("cube", 3)``.  Tags let routing reason about directions without
+        knowing port numbers.
+    """
+
+    src: int
+    dst: int
+    kind: ChannelKind
+    phy: PhyParams
+    serial_phy: Optional[PhyParams] = None
+    n_vcs: int = 2
+    buffer_depth: int = 32
+    tag: Hashable = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("channel endpoints must differ")
+        if (self.kind is ChannelKind.HETERO_PHY) != (self.serial_phy is not None):
+            raise ValueError("serial_phy must be given exactly for HETERO_PHY channels")
+        if self.n_vcs < 1:
+            raise ValueError("channels need at least one virtual channel")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer depth must be >= 1")
+
+    @property
+    def is_interface(self) -> bool:
+        """True if the channel crosses a die-to-die interface."""
+        return self.kind in INTERFACE_KINDS
+
+    @property
+    def total_bandwidth(self) -> int:
+        """Aggregate flits/cycle across all PHYs of the channel."""
+        if self.serial_phy is not None:
+            return self.phy.bandwidth + self.serial_phy.bandwidth
+        return self.phy.bandwidth
+
+    @property
+    def min_delay(self) -> int:
+        """Smallest propagation delay offered by any PHY of the channel."""
+        if self.serial_phy is not None:
+            return min(self.phy.delay, self.serial_phy.delay)
+        return self.phy.delay
+
+    @property
+    def max_delay(self) -> int:
+        """Largest propagation delay offered by any PHY of the channel."""
+        if self.serial_phy is not None:
+            return max(self.phy.delay, self.serial_phy.delay)
+        return self.phy.delay

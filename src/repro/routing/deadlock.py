@@ -1,0 +1,187 @@
+"""Channel-dependency-graph analysis for escape subfunctions.
+
+Lemma 1 (after Dally [20] and Duato [25]) reduces deadlock freedom of the
+full adaptive routing function to two properties of the escape routing
+subfunction R0 on the channel subset C0: *connectivity* (every pair of
+nodes is linked by an escape-only path) and *acyclicity* of the channel
+dependency graph of R0.  This module verifies both properties for a built
+network by exhaustive enumeration — it is how the tests mechanically check
+Theorem 1 for every system family.
+
+Under virtual cut-through allocation (the regime the evaluated systems
+operate in — buffers exceed packet length), a packet holds at most its
+current channel while requesting the next, so the dependency graph needs
+only *direct* dependencies between consecutive escape channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+
+#: A dependency-graph vertex: (link index, virtual channel index).
+EscapeChannel = tuple[int, int]
+
+
+@dataclass
+class EscapeAnalysis:
+    """Result of analysing one network's escape subfunction."""
+
+    connected: bool
+    acyclic: bool
+    n_channels: int
+    n_dependencies: int
+    cycle: list[EscapeChannel] = field(default_factory=list)
+    unreachable: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def deadlock_free(self) -> bool:
+        """Lemma 1's sufficient condition."""
+        return self.connected and self.acyclic
+
+
+def _probe(src: int, dst: int) -> Packet:
+    packet = Packet(src, dst, length=1, create_cycle=0)
+    return packet
+
+
+def _escape_successors(network: Network, node: int, dst: int) -> list[EscapeChannel]:
+    """Escape channels offered at ``node`` for destination ``dst``."""
+    router = network.routers[node]
+    if node == dst:
+        return []
+    candidates = router.routing_fn(router, _probe(node, dst))
+    result: list[EscapeChannel] = []
+    for port, vc, is_escape in candidates:
+        if not is_escape:
+            continue
+        link = router.outputs[port].link
+        if link is None:  # ejection
+            continue
+        result.append((link._link_index, vc))  # type: ignore[attr-defined]
+    return result
+
+
+def escape_dependency_graph(
+    network: Network,
+) -> dict[EscapeChannel, set[EscapeChannel]]:
+    """Direct dependencies between escape channels, over all destinations.
+
+    For every (node, destination) pair, each escape channel offered at the
+    node depends on each escape channel offered at that channel's
+    downstream node for the same destination.
+    """
+    n = network.n_nodes
+    graph: dict[EscapeChannel, set[EscapeChannel]] = {}
+    links = network.links
+    for dst in range(n):
+        # successors per node for this destination, computed once.
+        succ_cache: dict[int, list[EscapeChannel]] = {}
+        for node in range(n):
+            if node == dst:
+                continue
+            here = succ_cache.get(node)
+            if here is None:
+                here = _escape_successors(network, node, dst)
+                succ_cache[node] = here
+            for channel in here:
+                link = links[channel[0]]
+                next_node = link.dst_router.node
+                downstream = succ_cache.get(next_node)
+                if downstream is None:
+                    downstream = _escape_successors(network, next_node, dst)
+                    succ_cache[next_node] = downstream
+                graph.setdefault(channel, set()).update(downstream)
+    return graph
+
+
+def find_cycle(
+    graph: dict[EscapeChannel, set[EscapeChannel]]
+) -> list[EscapeChannel]:
+    """A cycle in the dependency graph, or [] if acyclic (iterative DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[EscapeChannel, int] = {}
+    parent: dict[EscapeChannel, EscapeChannel] = {}
+    for start in graph:
+        if color.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[EscapeChannel, object]] = [(start, iter(graph.get(start, ())))]
+        color[start] = GRAY
+        while stack:
+            vertex, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    # reconstruct the cycle nxt -> ... -> vertex -> nxt
+                    cycle = [nxt, vertex]
+                    walk = vertex
+                    while walk != nxt:
+                        walk = parent[walk]
+                        cycle.append(walk)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = vertex
+                    stack.append((nxt, iter(graph.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = BLACK
+                stack.pop()
+    return []
+
+
+def escape_connectivity(network: Network) -> list[tuple[int, int]]:
+    """(src, dst) pairs NOT reachable via escape-only hops (should be empty).
+
+    Follows escape candidates greedily in breadth-first fashion from every
+    source; connectivity of R0 means every destination is reached.
+    """
+    n = network.n_nodes
+    links = network.links
+    unreachable: list[tuple[int, int]] = []
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            # BFS over nodes along escape candidates for this destination.
+            seen = {src}
+            frontier = [src]
+            found = False
+            while frontier and not found:
+                nxt_frontier: list[int] = []
+                for node in frontier:
+                    for link_idx, _vc in _escape_successors(network, node, dst):
+                        nxt = links[link_idx].dst_router.node
+                        if nxt == dst:
+                            found = True
+                            break
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            nxt_frontier.append(nxt)
+                    if found:
+                        break
+                frontier = nxt_frontier
+            if not found:
+                unreachable.append((src, dst))
+    return unreachable
+
+
+def analyse_escape(network: Network) -> EscapeAnalysis:
+    """Run the full Lemma 1 check on a built network."""
+    graph = escape_dependency_graph(network)
+    cycle = find_cycle(graph)
+    unreachable = escape_connectivity(network)
+    n_deps = sum(len(v) for v in graph.values())
+    return EscapeAnalysis(
+        connected=not unreachable,
+        acyclic=not cycle,
+        n_channels=len(graph),
+        n_dependencies=n_deps,
+        cycle=cycle,
+        unreachable=unreachable,
+    )

@@ -1,0 +1,109 @@
+"""Fault tolerance through channel diversity (Sec 9).
+
+The paper observes that hetero-IF "provides more channel diversity and
+adaptivity, [which] may improve the system's fault tolerance".  This
+module makes that claim testable:
+
+* :func:`apply_faults` removes failed links from every router's candidate
+  sets by wrapping the installed routing function;
+* :func:`adaptive_link_indices` lists the links that are *safe* to fail in
+  a system — those carrying no escape channel (torus wraparounds, the
+  hetero-channel system's hypercube links, the serial halves of hetero-PHY
+  channels are handled by the adapter itself);
+* the Lemma 1 analyser (:func:`repro.routing.deadlock.analyse_escape`)
+  still applies after fault injection, so a fault pattern that severs the
+  escape subnetwork is detected rather than silently deadlocking.
+
+The headline experiment (benchmarks/test_fault_tolerance.py): failing
+serial links degrades a hetero-channel system gracefully — its escape is
+the untouched parallel mesh — while the same failures break the
+uniform-serial hypercube, whose escape paths run over the failed links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.noc.network import Network
+from repro.noc.router import Router
+from repro.topology.system import SystemSpec
+
+
+class UnroutableError(RuntimeError):
+    """A fault pattern left some packet with no usable candidate."""
+
+
+class FaultTolerantRouting:
+    """Wraps a routing function, filtering candidates over failed links."""
+
+    def __init__(self, base, network: Network, failed: Iterable[int]) -> None:
+        self.base = base
+        self.network = network
+        self.failed = frozenset(failed)
+
+    def __call__(self, router: Router, packet):
+        candidates = self.base(router, packet)
+        outputs = router.outputs
+        filtered = []
+        for cand in candidates:
+            link = outputs[cand[0]].link
+            if link is None or link._link_index not in self.failed:  # type: ignore[attr-defined]
+                filtered.append(cand)
+        if not filtered:
+            raise UnroutableError(
+                f"packet for node {packet.dst} stranded at node {router.node}: "
+                "all candidate channels failed"
+            )
+        return filtered
+
+
+def apply_faults(network: Network, failed: Sequence[int]) -> None:
+    """Remove the given links (by index) from all routing decisions."""
+    for index in failed:
+        if not 0 <= index < len(network.links):
+            raise ValueError(f"no link with index {index}")
+    for router in network.routers:
+        router.routing_fn = FaultTolerantRouting(router.routing_fn, network, failed)
+
+
+def adaptive_link_indices(network: Network, spec: SystemSpec) -> list[int]:
+    """Links that carry no escape channel in this system family.
+
+    For torus families these are the wraparound links; for the
+    hetero-channel system the serial hypercube links (Algorithm 1's escape
+    is the parallel mesh).  The uniform serial hypercube has *no* such
+    links: every cube link carries minus-first escape traffic, which is
+    exactly why it degrades badly under faults.
+    """
+    safe_tags = {
+        "parallel_mesh": (),
+        "serial_torus": ("wrap",),
+        "hetero_phy_torus": ("wrap",),
+        "serial_hypercube": (),
+        "hetero_channel": ("cube",),
+    }[spec.family]
+    return [
+        i
+        for i, channel in enumerate(network.specs)
+        if channel.tag is not None and channel.tag[0] in safe_tags
+    ]
+
+
+def fail_random_links(
+    network: Network,
+    candidates: Sequence[int],
+    count: int,
+    *,
+    seed: int = 0,
+) -> list[int]:
+    """Pick ``count`` distinct links to fail and apply the faults."""
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} links; only {len(candidates)} candidates"
+        )
+    rng = np.random.default_rng(seed)
+    chosen = sorted(int(i) for i in rng.choice(candidates, size=count, replace=False))
+    apply_faults(network, chosen)
+    return chosen

@@ -1,0 +1,59 @@
+"""Pure direction math for 2D-mesh routing.
+
+``negative_first_moves`` implements the escape routing function R0 of
+Algorithm 1: minimal negative-first routing, which routes all required
+negative-direction moves (W, S) before any positive-direction move (E, N)
+and is deadlock-free on a mesh [20, 25].  ``minimal_moves`` gives the full
+minimal-adaptive move set used on adaptive virtual channels.
+"""
+
+from __future__ import annotations
+
+#: Directions that decrease a coordinate (handled first by negative-first).
+NEGATIVE_DIRS = ("W", "S")
+#: Directions that increase a coordinate.
+POSITIVE_DIRS = ("E", "N")
+
+
+def minimal_moves(cur: tuple[int, int], dst: tuple[int, int]) -> list[str]:
+    """All mesh directions on a minimal path from ``cur`` to ``dst``."""
+    cx, cy = cur
+    dx, dy = dst
+    moves: list[str] = []
+    if dx > cx:
+        moves.append("E")
+    elif dx < cx:
+        moves.append("W")
+    if dy > cy:
+        moves.append("N")
+    elif dy < cy:
+        moves.append("S")
+    return moves
+
+
+def negative_first_moves(cur: tuple[int, int], dst: tuple[int, int]) -> list[str]:
+    """Minimal negative-first move set from ``cur`` to ``dst``.
+
+    While any negative move (W or S) remains, only negative moves are
+    allowed (adaptively, if both are needed); afterwards the remaining
+    positive moves (E, N) are allowed adaptively.  Empty iff ``cur == dst``.
+    """
+    moves = minimal_moves(cur, dst)
+    negatives = [m for m in moves if m in NEGATIVE_DIRS]
+    return negatives if negatives else moves
+
+
+def is_negative_first_legal(path_dirs: list[str]) -> bool:
+    """True if a sequence of moves obeys the negative-first turn rule."""
+    seen_positive = False
+    for move in path_dirs:
+        if move in POSITIVE_DIRS:
+            seen_positive = True
+        elif seen_positive:
+            return False
+    return True
+
+
+def manhattan(cur: tuple[int, int], dst: tuple[int, int]) -> int:
+    """L1 distance between two mesh coordinates."""
+    return abs(cur[0] - dst[0]) + abs(cur[1] - dst[1])

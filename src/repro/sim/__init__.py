@@ -1,0 +1,50 @@
+"""Simulation layer: configuration (Table 2), engine, statistics, harness.
+
+Submodules importing only ``config``/``stats`` stay import-light; the
+engine, network builder and experiment harness are loaded lazily so that
+``repro.core`` modules can depend on :mod:`repro.sim.config` without an
+import cycle.
+"""
+
+from .config import DEFAULT_CONFIG, SimConfig
+from .stats import DeadlockError, Stats
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DeadlockError",
+    "Engine",
+    "RunResult",
+    "SimConfig",
+    "Stats",
+    "SweepPoint",
+    "Workload",
+    "build_network",
+    "latency_rate_sweep",
+    "routing_cost_model",
+    "run_synthetic",
+    "run_trace",
+    "saturation_rate",
+]
+
+_LAZY = {
+    "Engine": ("repro.sim.engine", "Engine"),
+    "Workload": ("repro.sim.engine", "Workload"),
+    "build_network": ("repro.sim.build", "build_network"),
+    "routing_cost_model": ("repro.sim.build", "routing_cost_model"),
+    "RunResult": ("repro.sim.experiment", "RunResult"),
+    "SweepPoint": ("repro.sim.experiment", "SweepPoint"),
+    "latency_rate_sweep": ("repro.sim.experiment", "latency_rate_sweep"),
+    "run_synthetic": ("repro.sim.experiment", "run_synthetic"),
+    "run_trace": ("repro.sim.experiment", "run_trace"),
+    "saturation_rate": ("repro.sim.experiment", "saturation_rate"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

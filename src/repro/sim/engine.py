@@ -1,0 +1,92 @@
+"""Cycle-driven simulation engine.
+
+The engine ties together a :class:`~repro.noc.network.Network`, a workload
+(anything with a ``step(now) -> list[Packet]`` method) and a
+:class:`~repro.sim.stats.Stats` collector, and advances them cycle by cycle.
+It also watches for lack of forward progress, turning routing deadlocks
+into a :class:`~repro.sim.stats.DeadlockError` instead of a silent hang —
+this is how the deadlock-freedom tests exercise Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol
+
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from .stats import DeadlockError, Stats
+
+
+class Workload(Protocol):
+    """A packet source driven by the engine."""
+
+    def step(self, now: int) -> Iterable[Packet]:
+        """Packets created at cycle ``now`` (may be empty)."""
+        ...
+
+    def done(self, now: int) -> bool:
+        """True once the workload will never produce packets again."""
+        ...
+
+
+class Engine:
+    """Drives one simulation run."""
+
+    def __init__(
+        self,
+        network: Network,
+        workload: Workload,
+        stats: Stats,
+        *,
+        deadlock_threshold: Optional[int] = 20_000,
+    ) -> None:
+        self.network = network
+        self.workload = workload
+        self.stats = stats
+        self.deadlock_threshold = deadlock_threshold
+        self.cycle = 0
+
+    def run(self, cycles: int) -> Stats:
+        """Advance the simulation by ``cycles`` cycles."""
+        end = self.cycle + cycles
+        while self.cycle < end:
+            self._tick()
+        return self.stats
+
+    def run_until_drained(self, max_cycles: int) -> Stats:
+        """Run until the workload is exhausted and the network is empty.
+
+        Used for trace replay, where every packet of the trace should be
+        delivered before statistics are read.  Raises ``RuntimeError`` if the
+        network fails to drain within ``max_cycles``.
+        """
+        deadline = self.cycle + max_cycles
+        while self.cycle < deadline:
+            self._tick()
+            if self.workload.done(self.cycle) and self._empty():
+                return self.stats
+        raise RuntimeError(
+            f"network failed to drain within {max_cycles} cycles "
+            f"({self.network.buffered_flits()} flits still buffered)"
+        )
+
+    def _empty(self) -> bool:
+        return self.network.buffered_flits() == 0 and self.network.in_flight_flits() == 0
+
+    def _tick(self) -> None:
+        now = self.cycle
+        stats = self.stats
+        stats.now = now
+        for packet in self.workload.step(now):
+            stats.note_packet_injected(packet)
+            self.network.inject(packet)
+        self.network.step(now)
+        self.cycle = now + 1
+        if (
+            self.deadlock_threshold is not None
+            and now - stats.last_movement_cycle > self.deadlock_threshold
+        ):
+            buffered = self.network.buffered_flits()
+            if buffered > 0:
+                raise DeadlockError(now, buffered, now - stats.last_movement_cycle)
+            stats.last_movement_cycle = now

@@ -1,0 +1,199 @@
+"""High-level experiment harness.
+
+One-call helpers for the evaluation workflows of the paper: run a
+synthetic pattern at a rate, replay a trace to completion, or sweep the
+injection rate and report the latency curve (the structure of every
+latency-vs-injection figure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.phy import HeteroPhyLink
+from repro.noc.network import Network
+from repro.topology.system import SystemSpec
+from repro.traffic.injection import SyntheticWorkload
+from repro.traffic.patterns import make_pattern
+from repro.traffic.trace import Trace, TraceWorkload
+from .build import build_network
+from .engine import Engine
+from .stats import Stats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    system: str
+    workload: str
+    policy: str
+    n_nodes: int
+    cycles: int
+    stats: Stats
+    #: (parallel, serial) flit counts over all hetero-PHY links.
+    phy_split: tuple[int, int] = (0, 0)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_latency(self) -> float:
+        return self.stats.avg_latency
+
+    @property
+    def avg_energy_pj(self) -> float:
+        return self.stats.avg_energy_pj
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: the network failed to deliver most measured packets."""
+        frac = self.stats.delivered_fraction
+        return not math.isnan(frac) and frac < 0.6
+
+
+def _collect_phy_split(network: Network) -> tuple[int, int]:
+    par = ser = 0
+    for link in network.links:
+        if isinstance(link, HeteroPhyLink):
+            par += link.flits_parallel
+            ser += link.flits_serial
+    return par, ser
+
+
+def run_synthetic(
+    spec: SystemSpec,
+    pattern: str,
+    rate: float,
+    *,
+    policy: Optional[str] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    pattern_kwargs: Optional[dict] = None,
+) -> RunResult:
+    """Simulate one synthetic-pattern point (one marker of Fig 11/14)."""
+    config = spec.config
+    cycles = cycles if cycles is not None else config.sim_cycles
+    warmup = warmup if warmup is not None else config.warmup_cycles
+    stats = Stats(measure_from=warmup)
+    network = build_network(spec, stats, policy=policy)
+    pattern_obj = make_pattern(pattern, spec.grid.n_nodes, **(pattern_kwargs or {}))
+    workload = SyntheticWorkload(
+        pattern_obj,
+        spec.grid.n_nodes,
+        rate,
+        config.packet_length,
+        until=cycles,
+        seed=seed,
+    )
+    engine = Engine(network, workload, stats)
+    engine.run(cycles)
+    return RunResult(
+        system=spec.name,
+        workload=f"{pattern}@{rate:g}",
+        policy=policy or config.scheduling_policy,
+        n_nodes=spec.grid.n_nodes,
+        cycles=cycles,
+        stats=stats,
+        phy_split=_collect_phy_split(network),
+    )
+
+
+def run_trace(
+    spec: SystemSpec,
+    trace: Trace,
+    *,
+    policy: Optional[str] = None,
+    warmup: int = 0,
+    drain_margin: int = 200_000,
+    strict: bool = True,
+) -> RunResult:
+    """Replay a trace to completion (Fig 12/13/15/17 methodology).
+
+    With ``strict=False`` a network that cannot drain the trace within the
+    margin (a saturated operating point) returns its partial statistics
+    instead of raising; ``delivered_fraction`` then reflects the loss.
+    """
+    stats = Stats(measure_from=warmup)
+    network = build_network(spec, stats, policy=policy)
+    workload = TraceWorkload(trace)
+    engine = Engine(network, workload, stats)
+    try:
+        engine.run_until_drained(trace.duration + drain_margin)
+    except RuntimeError:
+        if strict:
+            raise
+    return RunResult(
+        system=spec.name,
+        workload=trace.name,
+        policy=policy or spec.config.scheduling_policy,
+        n_nodes=spec.grid.n_nodes,
+        cycles=engine.cycle,
+        stats=stats,
+        phy_split=_collect_phy_split(network),
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One point of a latency-vs-injection-rate curve."""
+
+    rate: float
+    avg_latency: float
+    delivered_fraction: float
+    avg_energy_pj: float
+
+    @property
+    def saturated(self) -> bool:
+        return math.isnan(self.avg_latency) or self.delivered_fraction < 0.6
+
+
+def latency_rate_sweep(
+    spec: SystemSpec,
+    pattern: str,
+    rates: Sequence[float],
+    *,
+    policy: Optional[str] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    stop_after_saturation: bool = True,
+    pattern_kwargs: Optional[dict] = None,
+) -> list[SweepPoint]:
+    """Latency curve over injection rates (one line of Fig 11/13/14/15).
+
+    By default the sweep stops once a rate saturates (delivery collapses);
+    the remaining points would only burn time confirming the cliff.
+    """
+    points: list[SweepPoint] = []
+    for rate in rates:
+        result = run_synthetic(
+            spec,
+            pattern,
+            rate,
+            policy=policy,
+            cycles=cycles,
+            warmup=warmup,
+            seed=seed,
+            pattern_kwargs=pattern_kwargs,
+        )
+        point = SweepPoint(
+            rate=rate,
+            avg_latency=result.avg_latency,
+            delivered_fraction=result.stats.delivered_fraction,
+            avg_energy_pj=result.avg_energy_pj,
+        )
+        points.append(point)
+        if stop_after_saturation and point.saturated:
+            break
+    return points
+
+
+def saturation_rate(points: Sequence[SweepPoint]) -> float:
+    """The highest non-saturated rate of a sweep (nan if all saturated)."""
+    best = float("nan")
+    for point in points:
+        if not point.saturated:
+            best = point.rate
+    return best

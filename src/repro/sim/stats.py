@@ -1,0 +1,181 @@
+"""Simulation statistics.
+
+Collects per-packet latency, throughput, hop and energy figures.  Packets
+created before the end of the warm-up window are delivered normally but
+excluded from the measured population, matching the paper's methodology
+(Table 2: 100000 cycles with 10000 cycles of warm-up).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.noc.channel import KINDS_BY_ID, ChannelKind
+from repro.noc.flit import Packet
+
+
+class Stats:
+    """Statistics sink passed to the network.
+
+    Parameters
+    ----------
+    measure_from:
+        First cycle whose packets are included in the measured population
+        (usually the warm-up length).
+    """
+
+    def __init__(self, measure_from: int = 0) -> None:
+        self.measure_from = measure_from
+        self.now = 0
+        # Progress tracking (used for deadlock detection).
+        self.last_movement_cycle = 0
+        self.router_flits = 0
+        # Link-level counters, indexed by channel-kind id (hot path).
+        self._link_flits = [0] * len(KINDS_BY_ID)
+        self._link_energy_pj = [0.0] * len(KINDS_BY_ID)
+        # Measured packet population.
+        self.latencies: list[int] = []
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.packets_injected = 0
+        self.flits_injected = 0
+        self.measured_injected = 0
+        self.hops_onchip = 0
+        self.hops_interface = 0
+        self.energy_onchip_pj = 0.0
+        self.energy_interface_pj = 0.0
+
+    # -- sink protocol ------------------------------------------------------
+    def note_link_flit(self, kind_id: int, energy_pj: float) -> None:
+        self._link_flits[kind_id] += 1
+        self._link_energy_pj[kind_id] += energy_pj
+
+    def note_router_flit(self) -> None:
+        self.router_flits += 1
+        self.last_movement_cycle = self.now
+
+    @property
+    def link_flits(self) -> dict[ChannelKind, int]:
+        """Flits transmitted per channel kind."""
+        return dict(zip(KINDS_BY_ID, self._link_flits))
+
+    @property
+    def link_energy_pj(self) -> dict[ChannelKind, float]:
+        """Link energy consumed per channel kind (pJ), all traffic."""
+        return dict(zip(KINDS_BY_ID, self._link_energy_pj))
+
+    def note_packet_injected(self, packet: Packet) -> None:
+        self.packets_injected += 1
+        self.flits_injected += packet.length
+        if packet.create_cycle >= self.measure_from:
+            self.measured_injected += 1
+
+    def note_packet_delivered(self, packet: Packet, now: int) -> None:
+        if packet.create_cycle < self.measure_from:
+            return
+        self.packets_delivered += 1
+        self.flits_delivered += packet.length
+        self.latencies.append(now - packet.create_cycle)
+        self.hops_onchip += packet.hops_onchip
+        self.hops_interface += packet.hops_interface
+        self.energy_onchip_pj += packet.energy_onchip_pj
+        self.energy_interface_pj += packet.energy_interface_pj
+
+    # -- derived metrics -------------------------------------------------------
+    @property
+    def avg_latency(self) -> float:
+        """Mean creation-to-delivery latency of measured packets."""
+        if not self.latencies:
+            return math.nan
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def latency_variance(self) -> float:
+        """Population variance of measured packet latency."""
+        n = len(self.latencies)
+        if n < 2:
+            return math.nan
+        mean = self.avg_latency
+        return sum((lat - mean) ** 2 for lat in self.latencies) / n
+
+    @property
+    def latency_stddev(self) -> float:
+        var = self.latency_variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    def latency_percentile(self, pct: float) -> float:
+        """Latency percentile (0 < pct <= 100) of measured packets."""
+        if not 0 < pct <= 100:
+            raise ValueError("pct must be in (0, 100]")
+        if not self.latencies:
+            return math.nan
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
+        return float(ordered[idx])
+
+    def throughput(self, n_nodes: int, measured_cycles: int) -> float:
+        """Accepted traffic in flits/cycle/node over the measurement window."""
+        if n_nodes <= 0 or measured_cycles <= 0:
+            raise ValueError("n_nodes and measured_cycles must be positive")
+        return self.flits_delivered / (n_nodes * measured_cycles)
+
+    @property
+    def avg_energy_pj(self) -> float:
+        """Mean link energy per delivered packet (pJ), on-chip + interface."""
+        if self.packets_delivered == 0:
+            return math.nan
+        total = self.energy_onchip_pj + self.energy_interface_pj
+        return total / self.packets_delivered
+
+    @property
+    def avg_energy_onchip_pj(self) -> float:
+        if self.packets_delivered == 0:
+            return math.nan
+        return self.energy_onchip_pj / self.packets_delivered
+
+    @property
+    def avg_energy_interface_pj(self) -> float:
+        if self.packets_delivered == 0:
+            return math.nan
+        return self.energy_interface_pj / self.packets_delivered
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean hop count (on-chip + interface) per delivered packet."""
+        if self.packets_delivered == 0:
+            return math.nan
+        return (self.hops_onchip + self.hops_interface) / self.packets_delivered
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Measured packets delivered / measured packets injected."""
+        if self.measured_injected == 0:
+            return math.nan
+        return self.packets_delivered / self.measured_injected
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary of the headline metrics."""
+        return {
+            "packets_delivered": float(self.packets_delivered),
+            "avg_latency": self.avg_latency,
+            "latency_stddev": self.latency_stddev,
+            "p99_latency": self.latency_percentile(99),
+            "avg_hops": self.avg_hops,
+            "avg_energy_pj": self.avg_energy_pj,
+            "avg_energy_onchip_pj": self.avg_energy_onchip_pj,
+            "avg_energy_interface_pj": self.avg_energy_interface_pj,
+            "delivered_fraction": self.delivered_fraction,
+        }
+
+
+class DeadlockError(RuntimeError):
+    """Raised when buffered flits stop moving for too long."""
+
+    def __init__(self, cycle: int, buffered: int, stalled_for: int) -> None:
+        super().__init__(
+            f"no flit movement for {stalled_for} cycles at cycle {cycle} "
+            f"with {buffered} flits buffered - likely routing deadlock"
+        )
+        self.cycle = cycle
+        self.buffered = buffered
+        self.stalled_for = stalled_for

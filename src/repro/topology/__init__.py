@@ -1,0 +1,16 @@
+"""Chiplet grids and multi-chiplet system builders."""
+
+from .grid import DIRECTIONS, OPPOSITE, ChipletGrid
+from .multipackage import build_hetero_channel_packages, package_of
+from .system import FAMILIES, SystemSpec, build_system
+
+__all__ = [
+    "ChipletGrid",
+    "DIRECTIONS",
+    "FAMILIES",
+    "OPPOSITE",
+    "SystemSpec",
+    "build_hetero_channel_packages",
+    "build_system",
+    "package_of",
+]

@@ -1,0 +1,293 @@
+"""Multi-chiplet system builders.
+
+A :class:`SystemSpec` is a pure description — grid geometry plus channel
+specs — of one of the five system families evaluated in the paper:
+
+``parallel_mesh``
+    Uniform parallel-IF 2D-mesh: chiplets tile into one global mesh
+    (the conventional baseline, Sec 2.1).
+``serial_torus``
+    Uniform serial-IF 2D-torus: mesh neighbour links plus wraparound links,
+    all serial (baseline of Sec 8.1.1).
+``hetero_phy_torus``
+    Hetero-PHY 2D-torus (Fig 6a): neighbour links are bonded
+    parallel+serial hetero-PHY channels, wraparound links are serial-only
+    (parallel PHYs cannot reach across the package).
+``serial_hypercube``
+    Uniform serial-IF chiplet hypercube (Fig 10a, reproduced from [30]).
+``hetero_channel``
+    Hetero-channel system (Fig 10): parallel-IF chiplet 2D-mesh *and*
+    serial-IF chiplet hypercube simultaneously; interface nodes expose two
+    independent channels.
+
+Builders only create channel descriptions; network instantiation lives in
+:mod:`repro.sim.build` and routing in :mod:`repro.routing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.channel import ChannelKind, ChannelSpec
+from repro.sim.config import SimConfig
+from .grid import OPPOSITE, ChipletGrid
+
+#: System family labels.
+FAMILIES = (
+    "parallel_mesh",
+    "serial_torus",
+    "hetero_phy_torus",
+    "serial_hypercube",
+    "hetero_channel",
+)
+
+
+@dataclass
+class SystemSpec:
+    """A fully described multi-chiplet interconnection system."""
+
+    name: str
+    family: str
+    grid: ChipletGrid
+    config: SimConfig
+    channels: list[ChannelSpec] = field(default_factory=list)
+    #: chiplet id -> cube dimension -> hosting node ids (one link each).
+    cube_hosts: dict[int, dict[int, list[int]]] = field(default_factory=dict)
+    n_cube_dims: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown system family {self.family!r}")
+
+    @property
+    def has_wraparound(self) -> bool:
+        return self.family in ("serial_torus", "hetero_phy_torus")
+
+    @property
+    def has_cube(self) -> bool:
+        return self.family in ("serial_hypercube", "hetero_channel")
+
+    def channels_by_kind(self) -> dict[ChannelKind, int]:
+        """Count of directed channels per physical kind."""
+        counts: dict[ChannelKind, int] = {}
+        for spec in self.channels:
+            counts[spec.kind] = counts.get(spec.kind, 0) + 1
+        return counts
+
+
+class _Builder:
+    """Shared channel-emission helpers for all system families."""
+
+    def __init__(self, grid: ChipletGrid, config: SimConfig) -> None:
+        self.grid = grid
+        self.config = config
+        self.channels: list[ChannelSpec] = []
+
+    def _emit(self, src: int, dst: int, kind: ChannelKind, tag) -> None:
+        config = self.config
+        if kind is ChannelKind.ONCHIP:
+            phy, serial, depth = config.onchip_phy, None, config.onchip_buffer
+        elif kind is ChannelKind.PARALLEL:
+            phy, serial, depth = config.parallel_phy, None, config.interface_buffer
+        elif kind is ChannelKind.SERIAL:
+            phy, serial, depth = config.serial_phy, None, config.interface_buffer
+        elif kind is ChannelKind.HETERO_PHY:
+            phy, serial, depth = (
+                config.parallel_phy,
+                config.serial_phy,
+                config.interface_buffer,
+            )
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(kind)
+        self.channels.append(
+            ChannelSpec(
+                src=src,
+                dst=dst,
+                kind=kind,
+                phy=phy,
+                serial_phy=serial,
+                n_vcs=config.n_vcs,
+                buffer_depth=depth,
+                tag=tag,
+            )
+        )
+
+    def add_global_mesh(self, interface_kind: ChannelKind) -> None:
+        """Emit all mesh-direction channels of the global mesh.
+
+        On-chip hops get ``ONCHIP`` channels; hops crossing a chiplet
+        boundary get ``interface_kind`` channels.  Every channel is tagged
+        ``("mesh", direction)``.
+        """
+        grid = self.grid
+        for node in range(grid.n_nodes):
+            for direction in ("E", "N"):  # emit each undirected edge once
+                other = grid.neighbor(node, direction)
+                if other is None:
+                    continue
+                if grid.crosses_chiplet_boundary(node, direction):
+                    kind = interface_kind
+                else:
+                    kind = ChannelKind.ONCHIP
+                self._emit(node, other, kind, ("mesh", direction))
+                self._emit(other, node, kind, ("mesh", OPPOSITE[direction]))
+
+    def add_onchip_meshes(self) -> None:
+        """Emit only the intra-chiplet mesh channels (no mesh interfaces)."""
+        grid = self.grid
+        for node in range(grid.n_nodes):
+            for direction in ("E", "N"):
+                other = grid.neighbor(node, direction)
+                if other is None or grid.crosses_chiplet_boundary(node, direction):
+                    continue
+                self._emit(node, other, ChannelKind.ONCHIP, ("mesh", direction))
+                self._emit(other, node, ChannelKind.ONCHIP, ("mesh", OPPOSITE[direction]))
+
+    def add_wraparound(self) -> None:
+        """Emit node-level torus wraparound channels (serial, Sec 8.1.1).
+
+        Each row gets an E/W wrap pair between the global mesh edges, each
+        column an N/S pair; they exist only when there is more than one
+        chiplet along the axis (a single chiplet would wrap to itself).
+        """
+        grid = self.grid
+        if grid.chiplets_x > 1:
+            for gy in range(grid.height):
+                west = grid.node_at(0, gy)
+                east = grid.node_at(grid.width - 1, gy)
+                self._emit(west, east, ChannelKind.SERIAL, ("wrap", "W"))
+                self._emit(east, west, ChannelKind.SERIAL, ("wrap", "E"))
+        if grid.chiplets_y > 1:
+            for gx in range(grid.width):
+                south = grid.node_at(gx, 0)
+                north = grid.node_at(gx, grid.height - 1)
+                self._emit(south, north, ChannelKind.SERIAL, ("wrap", "S"))
+                self._emit(north, south, ChannelKind.SERIAL, ("wrap", "N"))
+
+    def add_hypercube(self) -> tuple[dict[int, dict[int, list[int]]], int]:
+        """Emit serial hypercube channels between chiplets.
+
+        The chiplet count must be a power of two.  Each cube dimension is
+        hosted by ``perimeter // dims`` interface nodes per chiplet (at
+        least one); hosts occupy the same perimeter slots on every chiplet,
+        so both endpoints of an edge use the same pad position.
+        """
+        grid = self.grid
+        n = grid.n_chiplets
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"hypercube needs a power-of-two chiplet count, got {n}")
+        dims = n.bit_length() - 1
+        perimeter = grid.perimeter_nodes(0)
+        links_per_dim = max(1, len(perimeter) // dims)
+        hosts: dict[int, dict[int, list[int]]] = {}
+        for chiplet in range(n):
+            ring = grid.perimeter_nodes(chiplet)
+            hosts[chiplet] = {
+                dim: [
+                    ring[(dim * links_per_dim + i) % len(ring)]
+                    for i in range(links_per_dim)
+                ]
+                for dim in range(dims)
+            }
+        for chiplet in range(n):
+            for dim in range(dims):
+                other = chiplet ^ (1 << dim)
+                if other < chiplet:
+                    continue  # emit each undirected edge once
+                for i in range(links_per_dim):
+                    a = hosts[chiplet][dim][i]
+                    b = hosts[other][dim][i]
+                    self._emit(a, b, ChannelKind.SERIAL, ("cube", dim))
+                    self._emit(b, a, ChannelKind.SERIAL, ("cube", dim))
+        return hosts, dims
+
+
+def build_parallel_mesh(grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Uniform parallel-IF 2D-mesh system."""
+    builder = _Builder(grid, config)
+    builder.add_global_mesh(ChannelKind.PARALLEL)
+    return SystemSpec(
+        name=f"parallel-mesh-{grid.chiplets_x}x{grid.chiplets_y}({grid.nodes_x}x{grid.nodes_y})",
+        family="parallel_mesh",
+        grid=grid,
+        config=config,
+        channels=builder.channels,
+    )
+
+
+def build_serial_torus(grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Uniform serial-IF 2D-torus system."""
+    builder = _Builder(grid, config)
+    builder.add_global_mesh(ChannelKind.SERIAL)
+    builder.add_wraparound()
+    return SystemSpec(
+        name=f"serial-torus-{grid.chiplets_x}x{grid.chiplets_y}({grid.nodes_x}x{grid.nodes_y})",
+        family="serial_torus",
+        grid=grid,
+        config=config,
+        channels=builder.channels,
+    )
+
+
+def build_hetero_phy_torus(grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Hetero-PHY 2D-torus (Fig 6a): bonded neighbour links, serial wraps."""
+    builder = _Builder(grid, config)
+    builder.add_global_mesh(ChannelKind.HETERO_PHY)
+    builder.add_wraparound()
+    return SystemSpec(
+        name=f"hetero-phy-torus-{grid.chiplets_x}x{grid.chiplets_y}({grid.nodes_x}x{grid.nodes_y})",
+        family="hetero_phy_torus",
+        grid=grid,
+        config=config,
+        channels=builder.channels,
+    )
+
+
+def build_serial_hypercube(grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Uniform serial-IF chiplet hypercube (Fig 10a)."""
+    builder = _Builder(grid, config)
+    builder.add_onchip_meshes()
+    hosts, dims = builder.add_hypercube()
+    return SystemSpec(
+        name=f"serial-hypercube-{grid.n_chiplets}({grid.nodes_x}x{grid.nodes_y})",
+        family="serial_hypercube",
+        grid=grid,
+        config=config,
+        channels=builder.channels,
+        cube_hosts=hosts,
+        n_cube_dims=dims,
+    )
+
+
+def build_hetero_channel(grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Hetero-channel system: parallel mesh + serial hypercube (Fig 10)."""
+    builder = _Builder(grid, config)
+    builder.add_global_mesh(ChannelKind.PARALLEL)
+    hosts, dims = builder.add_hypercube()
+    return SystemSpec(
+        name=f"hetero-channel-{grid.n_chiplets}({grid.nodes_x}x{grid.nodes_y})",
+        family="hetero_channel",
+        grid=grid,
+        config=config,
+        channels=builder.channels,
+        cube_hosts=hosts,
+        n_cube_dims=dims,
+    )
+
+
+BUILDERS = {
+    "parallel_mesh": build_parallel_mesh,
+    "serial_torus": build_serial_torus,
+    "hetero_phy_torus": build_hetero_phy_torus,
+    "serial_hypercube": build_serial_hypercube,
+    "hetero_channel": build_hetero_channel,
+}
+
+
+def build_system(family: str, grid: ChipletGrid, config: SimConfig) -> SystemSpec:
+    """Build a system of the given family (see :data:`FAMILIES`)."""
+    try:
+        builder = BUILDERS[family]
+    except KeyError:
+        raise ValueError(f"unknown system family {family!r}") from None
+    return builder(grid, config)

@@ -1,0 +1,26 @@
+"""Workloads: synthetic patterns, trace replay, PARSEC and HPC generators."""
+
+from .hpc import embed_ranks, generate_cns_trace, generate_moc_trace, packetize
+from .injection import SyntheticWorkload
+from .parsec import PARSEC_PROFILES, generate_parsec_trace
+from .reqreply import RequestReplyWorkload
+from .patterns import FIGURE_PATTERNS, PATTERNS, TrafficPattern, make_pattern
+from .trace import Trace, TraceRecord, TraceWorkload
+
+__all__ = [
+    "FIGURE_PATTERNS",
+    "PARSEC_PROFILES",
+    "PATTERNS",
+    "RequestReplyWorkload",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceRecord",
+    "TraceWorkload",
+    "TrafficPattern",
+    "embed_ranks",
+    "generate_cns_trace",
+    "generate_moc_trace",
+    "generate_parsec_trace",
+    "make_pattern",
+    "packetize",
+]

@@ -1,0 +1,209 @@
+"""Synthetic HPC communication traces (DUMPI substitute).
+
+The paper replays two NERSC Hopper DUMPI traces, each using 1024 MPI ranks
+[1, 12]:
+
+* **CNS** — a compressible Navier-Stokes solver: iterative 3D
+  nearest-neighbour halo exchange plus periodic small allreduce phases;
+  traffic is neighbour-dominated.
+* **MOC** — a 3D method-of-characteristics transport code: angular sweeps
+  create long-range, transpose-like exchange across the whole machine;
+  traffic is long-range-dominated.
+
+The original trace files are not bundled; these generators reproduce the
+communication *structure* that the figures depend on (rank topology,
+message sizes, neighbour vs long-range balance) deterministically from a
+seed.  Ranks are embedded onto system nodes with
+:func:`embed_ranks`; Fig 15 uses core (non-interface) nodes only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.grid import ChipletGrid
+from .trace import Trace, TraceRecord
+
+#: Bytes per flit (64-bit flits).
+BYTES_PER_FLIT = 8
+
+
+def packetize(
+    cycle: int,
+    src: int,
+    dst: int,
+    n_bytes: int,
+    *,
+    max_packet_flits: int = 16,
+    msg_class: str = "data",
+    ordered: bool = True,
+) -> list[TraceRecord]:
+    """Split one message into packet records, one packet per cycle.
+
+    Large MPI messages become trains of ``max_packet_flits``-flit packets
+    injected on consecutive cycles (the source cannot produce faster than
+    one packet per cycle anyway).
+    """
+    if src == dst:
+        return []
+    flits = max(1, -(-n_bytes // BYTES_PER_FLIT))
+    records: list[TraceRecord] = []
+    offset = 0
+    while flits > 0:
+        length = min(flits, max_packet_flits)
+        records.append(
+            TraceRecord(cycle + offset, src, dst, length, msg_class, 0, ordered)
+        )
+        flits -= length
+        offset += 1
+    return records
+
+
+def _rank_grid_shape(n_ranks: int) -> tuple[int, int, int]:
+    """A near-cubic 3D factorization of the rank count."""
+    best: tuple[int, int, int] | None = None
+    for x in range(1, int(round(n_ranks ** (1 / 3))) + 2):
+        if n_ranks % x:
+            continue
+        rest = n_ranks // x
+        for y in range(x, int(rest**0.5) + 1):
+            if rest % y:
+                continue
+            z = rest // y
+            cand = (x, y, z)
+            if best is None or (cand[2] - cand[0]) < (best[2] - best[0]):
+                best = cand
+    if best is None:
+        best = (1, 1, n_ranks)
+    return best
+
+
+def _allreduce_records(
+    cycle: int, n_ranks: int, n_bytes: int
+) -> list[tuple[int, int, int, int]]:
+    """(cycle, src, dst, bytes) tuples of a recursive-doubling allreduce."""
+    out: list[tuple[int, int, int, int]] = []
+    stage = 1
+    t = cycle
+    while stage < n_ranks:
+        for rank in range(n_ranks):
+            partner = rank ^ stage
+            if partner < n_ranks:
+                out.append((t, rank, partner, n_bytes))
+        stage <<= 1
+        t += 4  # per-stage pipelining gap
+    return out
+
+
+def generate_cns_trace(
+    n_ranks: int = 1024,
+    iterations: int = 20,
+    *,
+    halo_bytes: int = 512,
+    allreduce_bytes: int = 64,
+    allreduce_every: int = 4,
+    iteration_gap: int = 2000,
+    seed: int = 11,
+) -> Trace:
+    """Compressible Navier-Stokes: 3D halo exchange + periodic allreduce."""
+    if n_ranks < 2:
+        raise ValueError("need at least two ranks")
+    rx, ry, rz = _rank_grid_shape(n_ranks)
+    rng = np.random.default_rng(seed)
+    messages: list[tuple[int, int, int, int]] = []  # (cycle, src, dst, bytes)
+    for it in range(iterations):
+        base = it * iteration_gap
+        for rank in range(n_ranks):
+            x = rank % rx
+            y = (rank // rx) % ry
+            z = rank // (rx * ry)
+            jitter = int(rng.integers(0, 8))
+            for dx, dy, dz in (
+                (1, 0, 0),
+                (-1, 0, 0),
+                (0, 1, 0),
+                (0, -1, 0),
+                (0, 0, 1),
+                (0, 0, -1),
+            ):
+                nx, ny, nz = x + dx, y + dy, z + dz
+                if not (0 <= nx < rx and 0 <= ny < ry and 0 <= nz < rz):
+                    continue
+                partner = nx + ny * rx + nz * rx * ry
+                messages.append((base + jitter, rank, partner, halo_bytes))
+        if it % allreduce_every == allreduce_every - 1:
+            messages.extend(
+                _allreduce_records(base + iteration_gap // 2, n_ranks, allreduce_bytes)
+            )
+    return _to_trace(messages, name="hpc-cns")
+
+
+def generate_moc_trace(
+    n_ranks: int = 1024,
+    iterations: int = 12,
+    *,
+    sweep_bytes: int = 256,
+    partners_per_sweep: int = 4,
+    iteration_gap: int = 1200,
+    seed: int = 13,
+) -> Trace:
+    """3D method of characteristics: long-range angular-sweep exchange.
+
+    Each sweep sends medium messages to strided partners across the whole
+    rank space (``rank ^ 2^k`` and a transpose partner), modelling the
+    characteristic lines crossing the domain.
+    """
+    if n_ranks < 2:
+        raise ValueError("need at least two ranks")
+    rng = np.random.default_rng(seed)
+    bits = max(1, (n_ranks - 1).bit_length())
+    messages: list[tuple[int, int, int, int]] = []
+    for it in range(iterations):
+        base = it * iteration_gap
+        strides = sorted(
+            int(s) for s in rng.choice(bits, size=min(partners_per_sweep, bits), replace=False)
+        )
+        for rank in range(n_ranks):
+            jitter = int(rng.integers(0, 16))
+            for k in strides:
+                partner = (rank ^ (1 << k)) % n_ranks
+                if partner != rank:
+                    messages.append((base + jitter, rank, partner, sweep_bytes))
+            # transpose-like partner: bit-reversed rank
+            rev = int(format(rank, f"0{bits}b")[::-1], 2) % n_ranks
+            if rev != rank:
+                messages.append((base + jitter + 8, rank, rev, sweep_bytes))
+    return _to_trace(messages, name="hpc-moc")
+
+
+def _to_trace(messages: list[tuple[int, int, int, int]], name: str) -> Trace:
+    records: list[TraceRecord] = []
+    for cycle, src, dst, n_bytes in messages:
+        records.extend(packetize(cycle, src, dst, n_bytes, msg_class="bulk"))
+    return Trace(records, name=name)
+
+
+def embed_ranks(
+    trace: Trace, grid: ChipletGrid, *, core_only: bool = False
+) -> Trace:
+    """Map rank-indexed records onto system node ids.
+
+    Ranks are spread evenly over the chosen node population (all nodes, or
+    core nodes only for Fig 15).  Messages whose endpoints land on the
+    same node become local and are dropped.
+    """
+    nodes = grid.core_nodes() if core_only else list(range(grid.n_nodes))
+    if not nodes:
+        raise ValueError("grid has no eligible nodes for embedding")
+    n_ranks = max(max(r.src, r.dst) for r in trace.records) + 1 if trace.records else 0
+    records: list[TraceRecord] = []
+    count = len(nodes)
+    for r in trace.records:
+        src = nodes[r.src * count // max(n_ranks, 1) % count]
+        dst = nodes[r.dst * count // max(n_ranks, 1) % count]
+        if src == dst:
+            continue
+        records.append(
+            TraceRecord(r.cycle, src, dst, r.length, r.msg_class, r.priority, r.ordered)
+        )
+    return Trace(records, name=f"{trace.name}-embedded")

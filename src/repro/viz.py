@@ -1,0 +1,157 @@
+"""Plain-text visualization helpers.
+
+No plotting stack is assumed: these render topologies, link utilization
+and latency curves as text, for examples, debugging and notebook-free
+analysis.
+
+* :func:`render_topology` — chiplet floorplan with per-family channel
+  legend;
+* :func:`utilization_heatmap` — per-node forwarded-flit intensity over a
+  finished run;
+* :func:`link_utilization_table` — the busiest links with their kinds;
+* :func:`ascii_curve` — a quick y-vs-x line chart for latency curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.noc.network import Network
+from repro.topology.system import SystemSpec
+
+#: Intensity ramp for heatmaps (low -> high).
+RAMP = " .:-=+*#%@"
+
+
+def render_topology(spec: SystemSpec) -> str:
+    """A floorplan sketch of the chiplet grid with its channel census."""
+    grid = spec.grid
+    lines = [f"{spec.name}: {grid.chiplets_x}x{grid.chiplets_y} chiplets of "
+             f"{grid.nodes_x}x{grid.nodes_y} nodes ({grid.n_nodes} nodes)"]
+    cell = f"[{grid.nodes_x}x{grid.nodes_y}]"
+    for cy in range(grid.chiplets_y - 1, -1, -1):
+        row = []
+        for cx in range(grid.chiplets_x):
+            row.append(cell)
+        lines.append(" -- ".join(row))
+        if cy:
+            lines.append(("  |" + " " * (len(cell) + 1)) * grid.chiplets_x)
+    counts = spec.channels_by_kind()
+    legend = ", ".join(
+        f"{kind.value}: {count}" for kind, count in sorted(counts.items(), key=lambda kv: kv[0].value)
+    )
+    lines.append(f"directed channels - {legend}")
+    if spec.has_cube:
+        lines.append(
+            f"hypercube: {spec.n_cube_dims} dimensions, hosts on chiplet perimeters"
+        )
+    if spec.has_wraparound:
+        lines.append("torus wraparounds between the global mesh edges (serial)")
+    return "\n".join(lines)
+
+
+def utilization_heatmap(network: Network, spec: SystemSpec, cycles: int) -> str:
+    """Per-node forwarded-traffic heatmap after a run.
+
+    Each cell aggregates the flits carried by the node's outgoing links,
+    normalized by the run length, and maps intensity onto :data:`RAMP`.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be > 0")
+    grid = spec.grid
+    load = [0.0] * grid.n_nodes
+    for link in network.links:
+        load[link.src_router.node] += link.flits_carried
+    peak = max(load) or 1.0
+    lines = [f"per-node forwarded flits over {cycles} cycles (peak "
+             f"{peak / cycles:.2f} flits/cycle)"]
+    for gy in range(grid.height - 1, -1, -1):
+        row = []
+        for gx in range(grid.width):
+            value = load[grid.node_at(gx, gy)] / peak
+            row.append(RAMP[min(len(RAMP) - 1, int(value * (len(RAMP) - 1) + 0.5))])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def link_utilization_table(network: Network, cycles: int, top: int = 10) -> str:
+    """The ``top`` busiest links as a plain table."""
+    if cycles <= 0:
+        raise ValueError("cycles must be > 0")
+    entries = sorted(
+        (
+            (link.flits_carried, link)
+            for link in network.links
+            if link.flits_carried
+        ),
+        key=lambda e: -e[0],
+    )[:top]
+    lines = [f"{'link':>12s} {'kind':>10s} {'flits':>8s} {'util':>6s}"]
+    for flits, link in entries:
+        spec = link.spec
+        util = flits / (cycles * spec.total_bandwidth)
+        lines.append(
+            f"{spec.src:5d}->{spec.dst:<5d} {spec.kind.value:>10s} "
+            f"{flits:8d} {util:6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_path(spec: SystemSpec, nodes: Sequence[int]) -> str:
+    """Draw a traced packet path over the node grid.
+
+    Source is ``S``, destination ``D``, intermediate visits ``o``; other
+    nodes are dots.  Works with the node sequences produced by
+    :meth:`repro.noc.tracing.RouteTracer.nodes_of`.
+    """
+    if not nodes:
+        raise ValueError("empty path")
+    grid = spec.grid
+    cells = [["."] * grid.width for _ in range(grid.height)]
+    for node in nodes[1:-1]:
+        gx, gy = grid.coords(node)
+        cells[gy][gx] = "o"
+    sx, sy = grid.coords(nodes[0])
+    cells[sy][sx] = "S"
+    if len(nodes) > 1:
+        dx, dy = grid.coords(nodes[-1])
+        cells[dy][dx] = "D"
+    lines = [f"path over {grid.width}x{grid.height} nodes ({len(nodes) - 1} hops)"]
+    for gy in range(grid.height - 1, -1, -1):
+        lines.append("".join(cells[gy]))
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A quick text line chart (used by examples for latency curves)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    finite = [(x, y) for x, y in zip(xs, ys) if not math.isnan(y)]
+    if not finite:
+        return f"{label}: no finite points"
+    x_min, x_max = min(x for x, _ in finite), max(x for x, _ in finite)
+    y_min, y_max = min(y for _, y in finite), max(y for _, y in finite)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    cells = [[" "] * width for _ in range(height)]
+    for x, y in finite:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        cells[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{y_max:10.1f} +" + "".join(cells[0]))
+    for row in cells[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.1f} +" + "".join(cells[-1]))
+    lines.append(" " * 12 + f"{x_min:<10.3g}{'':{max(0, width - 20)}}{x_max:>10.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.build import build_network
+from repro.sim.config import SimConfig
+from repro.sim.stats import Stats
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+
+
+@pytest.fixture
+def config() -> SimConfig:
+    """A fast Table-2 configuration for unit tests."""
+    return SimConfig(sim_cycles=2_000, warmup_cycles=200)
+
+
+@pytest.fixture
+def small_grid() -> ChipletGrid:
+    """2x2 chiplets of 3x3 nodes (36 nodes, valid for every family)."""
+    return ChipletGrid(2, 2, 3, 3)
+
+
+@pytest.fixture
+def mesh_grid() -> ChipletGrid:
+    """2x2 chiplets of 4x4 nodes (64 nodes)."""
+    return ChipletGrid(2, 2, 4, 4)
+
+
+def make_network(family: str, grid: ChipletGrid, config: SimConfig, **kwargs):
+    """Build (network, stats) for a family; helper used across test files."""
+    spec = build_system(family, grid, config)
+    stats = Stats(measure_from=config.warmup_cycles)
+    network = build_network(spec, stats, **kwargs)
+    return spec, network, stats
+
+
+@pytest.fixture(params=["parallel_mesh", "serial_torus", "hetero_phy_torus",
+                        "serial_hypercube", "hetero_channel"])
+def family(request) -> str:
+    """Parametrized over all five system families."""
+    return request.param

@@ -1,0 +1,53 @@
+"""Tests for arbitration helpers."""
+
+import pytest
+
+from repro.noc.arbiter import RoundRobin, rotate
+
+
+def test_round_robin_initial_order():
+    rr = RoundRobin(4)
+    assert list(rr.order()) == [0, 1, 2, 3]
+
+
+def test_round_robin_grant_rotates_priority():
+    rr = RoundRobin(4)
+    rr.grant(1)
+    assert list(rr.order()) == [2, 3, 0, 1]
+
+
+def test_round_robin_wraps():
+    rr = RoundRobin(3)
+    rr.grant(2)
+    assert list(rr.order()) == [0, 1, 2]
+
+
+def test_round_robin_fairness_over_rounds():
+    rr = RoundRobin(3)
+    winners = []
+    for _ in range(9):
+        winner = next(iter(rr.order()))
+        winners.append(winner)
+        rr.grant(winner)
+    assert winners == [0, 1, 2] * 3
+
+
+def test_round_robin_validation():
+    with pytest.raises(ValueError):
+        RoundRobin(0)
+    rr = RoundRobin(2)
+    with pytest.raises(ValueError):
+        rr.grant(2)
+
+
+def test_rotate_basic():
+    assert rotate([1, 2, 3, 4], 1) == [2, 3, 4, 1]
+    assert rotate([1, 2, 3], 0) == [1, 2, 3]
+
+
+def test_rotate_wraps_start():
+    assert rotate([1, 2, 3], 5) == [3, 1, 2]
+
+
+def test_rotate_empty():
+    assert rotate([], 3) == []

@@ -1,0 +1,81 @@
+"""Unit tests for channel specifications."""
+
+import pytest
+
+from repro.noc.channel import (
+    INTERFACE_KINDS,
+    KIND_IDS,
+    KINDS_BY_ID,
+    ChannelKind,
+    ChannelSpec,
+    PhyParams,
+)
+
+
+def _phy(bw=2, delay=5, energy=1.0) -> PhyParams:
+    return PhyParams(bw, delay, energy)
+
+
+def test_phy_params_validation():
+    with pytest.raises(ValueError):
+        PhyParams(0, 1, 1.0)
+    with pytest.raises(ValueError):
+        PhyParams(1, -1, 1.0)
+
+
+def test_channel_rejects_self_loop():
+    with pytest.raises(ValueError):
+        ChannelSpec(1, 1, ChannelKind.ONCHIP, _phy())
+
+
+def test_channel_requires_serial_phy_iff_hetero():
+    with pytest.raises(ValueError):
+        ChannelSpec(0, 1, ChannelKind.HETERO_PHY, _phy())
+    with pytest.raises(ValueError):
+        ChannelSpec(0, 1, ChannelKind.PARALLEL, _phy(), serial_phy=_phy())
+
+
+def test_channel_vc_and_buffer_validation():
+    with pytest.raises(ValueError):
+        ChannelSpec(0, 1, ChannelKind.ONCHIP, _phy(), n_vcs=0)
+    with pytest.raises(ValueError):
+        ChannelSpec(0, 1, ChannelKind.ONCHIP, _phy(), buffer_depth=0)
+
+
+def test_interface_classification():
+    onchip = ChannelSpec(0, 1, ChannelKind.ONCHIP, _phy())
+    parallel = ChannelSpec(0, 1, ChannelKind.PARALLEL, _phy())
+    assert not onchip.is_interface
+    assert parallel.is_interface
+    assert ChannelKind.ONCHIP not in INTERFACE_KINDS
+    assert ChannelKind.HETERO_PHY in INTERFACE_KINDS
+
+
+def test_hetero_aggregates_bandwidth_and_delays():
+    spec = ChannelSpec(
+        0,
+        1,
+        ChannelKind.HETERO_PHY,
+        _phy(bw=2, delay=5),
+        serial_phy=_phy(bw=4, delay=20, energy=2.4),
+    )
+    assert spec.total_bandwidth == 6
+    assert spec.min_delay == 5
+    assert spec.max_delay == 20
+
+
+def test_plain_channel_bandwidth_and_delays():
+    spec = ChannelSpec(0, 1, ChannelKind.SERIAL, _phy(bw=4, delay=20))
+    assert spec.total_bandwidth == 4
+    assert spec.min_delay == spec.max_delay == 20
+
+
+def test_kind_ids_bijective():
+    assert sorted(KIND_IDS.values()) == list(range(len(ChannelKind)))
+    for kind, kid in KIND_IDS.items():
+        assert KINDS_BY_ID[kid] is kind
+
+
+def test_tag_defaults_none():
+    spec = ChannelSpec(0, 1, ChannelKind.ONCHIP, _phy())
+    assert spec.tag is None

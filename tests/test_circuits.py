@@ -1,0 +1,193 @@
+"""Tests for the behavioural circuit models and the synthesis estimator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.fifo import MultiWidthFifo, PortBudgetError
+from repro.circuits.reorder_rx import RxReorderFifo
+from repro.circuits.synthesis import (
+    TABLE4_PAPER,
+    synthesize_adapter_rx,
+    synthesize_adapter_tx,
+    synthesize_hetero_router,
+    synthesize_router,
+    table4,
+)
+
+# -- multi-width FIFO ------------------------------------------------------
+
+
+def test_fifo_order_preserved():
+    fifo = MultiWidthFifo(depth=16, read_ports=3, write_ports=3)
+    fifo.push("a")
+    fifo.push("b")
+    fifo.push("c")
+    assert [fifo.pop(), fifo.pop(), fifo.pop()] == ["a", "b", "c"]
+
+
+def test_fifo_port_budget_enforced():
+    fifo = MultiWidthFifo(depth=16, read_ports=2, write_ports=2)
+    fifo.push(1)
+    fifo.push(2)
+    with pytest.raises(PortBudgetError):
+        fifo.push(3)
+    fifo.tick()
+    fifo.push(3)  # budget refreshed
+
+
+def test_fifo_overflow_and_underflow():
+    fifo = MultiWidthFifo(depth=2, read_ports=3, write_ports=3)
+    fifo.push(1)
+    fifo.push(2)
+    with pytest.raises(OverflowError):
+        fifo.push(3)
+    fifo.pop()
+    fifo.pop()
+    with pytest.raises(IndexError):
+        fifo.pop()
+
+
+def test_fifo_half_full_threshold():
+    fifo = MultiWidthFifo(depth=4)
+    assert not fifo.half_full
+    fifo.push(1)
+    fifo.push(2)
+    assert fifo.half_full
+
+
+def test_balanced_read_count_rule():
+    """Sec 7.3: half-full -> read 3 flits (1 parallel + 2 serial), else 1."""
+    fifo = MultiWidthFifo(depth=16, read_ports=3, write_ports=3)
+    for i in range(3):
+        fifo.push(i)
+    assert fifo.balanced_read_count() == 1  # below threshold
+    fifo.tick()
+    for i in range(5):
+        fifo.push(i) if i < 3 else None
+    fifo.tick()
+    while fifo.occupancy < 8:
+        fifo.push(0)
+        fifo.tick()
+    assert fifo.half_full
+    assert fifo.balanced_read_count() == 3
+
+
+def test_fifo_front_peek():
+    fifo = MultiWidthFifo()
+    fifo.push("x")
+    assert fifo.front() == "x"
+    assert fifo.occupancy == 1
+    with pytest.raises(IndexError):
+        MultiWidthFifo().front()
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=40))
+def test_fifo_property_order(items):
+    fifo = MultiWidthFifo(depth=64, read_ports=64, write_ports=64)
+    for item in items:
+        fifo.push(item)
+    out = [fifo.pop() for _ in items]
+    assert out == items
+    assert fifo.max_occupancy == len(items)
+
+
+# -- RX reorder stage ---------------------------------------------------------
+
+
+def test_rx_reorder_in_order():
+    rx = RxReorderFifo(depth=16)
+    rx.push_parallel(0, "p0", now=0)
+    rx.push_serial(1, "s1", now=0)
+    assert rx.pop_ready(now=0) is None  # one-cycle forwarding delay
+    assert rx.pop_ready(now=1) == "p0"
+    assert rx.pop_ready(now=1) == "s1"
+    assert rx.pop_ready(now=1) is None
+
+
+def test_rx_reorder_waits_for_gap():
+    rx = RxReorderFifo()
+    rx.push_parallel(1, "p1", now=0)
+    assert rx.pop_ready(now=5) is None  # SN 0 missing
+    rx.push_serial(0, "s0", now=5)
+    assert rx.pop_ready(now=6) == "s0"
+    assert rx.pop_ready(now=6) == "p1"
+    assert rx.expected_sn == 2
+
+
+def test_rx_reorder_rejects_duplicates_and_stale():
+    rx = RxReorderFifo()
+    rx.push_parallel(0, "a", now=0)
+    with pytest.raises(ValueError):
+        rx.push_serial(0, "b", now=0)
+    assert rx.pop_ready(now=1) == "a"
+    with pytest.raises(ValueError):
+        rx.push_parallel(0, "late", now=2)
+
+
+def test_rx_reorder_overflow():
+    rx = RxReorderFifo(depth=2)
+    rx.push_parallel(1, "x", now=0)
+    rx.push_parallel(2, "y", now=0)
+    with pytest.raises(OverflowError):
+        rx.push_parallel(3, "z", now=0)
+
+
+@given(st.permutations(list(range(10))))
+def test_rx_reorder_property(order):
+    rx = RxReorderFifo(depth=10)
+    out = []
+    now = 0
+    for sn in order:
+        rx.push_parallel(sn, sn, now)
+        now += 1
+        while (item := rx.pop_ready(now)) is not None:
+            out.append(item)
+    now += 1
+    while (item := rx.pop_ready(now)) is not None:
+        out.append(item)
+    assert out == list(range(10))
+
+
+# -- synthesis estimator --------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(TABLE4_PAPER))
+def test_estimates_close_to_paper(name):
+    result = table4()[name]
+    paper = TABLE4_PAPER[name]
+    assert result.area_um2 == pytest.approx(paper["area_um2"], rel=0.15)
+    assert result.power_mw == pytest.approx(paper["power_mw"], rel=0.15)
+    assert result.critical_path_ns == pytest.approx(
+        paper["critical_path_ns"], rel=0.15
+    )
+
+
+def test_hetero_router_overhead_ratios():
+    """The paper's headline overheads: +45% area, +33% power (Sec 8.2)."""
+    regular = synthesize_router()
+    hetero = synthesize_hetero_router()
+    assert hetero.area_um2 / regular.area_um2 == pytest.approx(1.45, abs=0.08)
+    assert hetero.power_mw / regular.power_mw == pytest.approx(1.33, abs=0.08)
+    # frequency barely affected (paper: 1.20 -> 1.16 GHz)
+    assert hetero.fmax_ghz < regular.fmax_ghz
+    assert hetero.fmax_ghz / regular.fmax_ghz > 0.9
+
+
+def test_area_scales_with_structure():
+    small = synthesize_router(radix=5, buffer_depth=4)
+    large = synthesize_router(radix=5, buffer_depth=16)
+    assert large.area_um2 > small.area_um2
+    wider = synthesize_adapter_tx(ports=6)
+    assert wider.area_um2 > synthesize_adapter_tx(ports=3).area_um2
+
+
+def test_adapter_energy_per_bit_order_of_magnitude():
+    """Paper reports ~3.2-3.3 fJ/bit for the adapters."""
+    rx = synthesize_adapter_rx()
+    assert 1.0 < rx.energy_fj_per_bit < 10.0
+
+
+def test_router_validation():
+    with pytest.raises(ValueError):
+        synthesize_router(radix=1)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig8", "fig11", "table3", "table4", "fig18"):
+        assert name in out
+
+
+def test_run_table4(capsys):
+    assert main(["run", "table4", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "hetero_router" in out
+    assert "paper" in out
+
+
+def test_run_csv_output(capsys):
+    assert main(["run", "table1", "--scale", "tiny", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("interface,")
+    assert "SerDes" in out
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_simulate_smoke(capsys):
+    code = main(
+        [
+            "simulate",
+            "--family",
+            "hetero_phy_torus",
+            "--chiplets",
+            "2x2",
+            "--nodes",
+            "3x3",
+            "--cycles",
+            "1500",
+            "--rate",
+            "0.1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "avg_latency" in out
+    assert "hetero-phy-torus-2x2(3x3)" in out
+
+
+def test_simulate_bad_geometry():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--chiplets", "four-by-four"])

@@ -1,0 +1,80 @@
+"""Tests for the chiplet-reuse cost model."""
+
+import pytest
+
+from repro.cost.reuse import (
+    HETERO_IF_AREA_OVERHEAD,
+    PackageCost,
+    ProcessCost,
+    SystemClass,
+    portfolio_cost,
+    reuse_savings,
+)
+
+SYSTEMS = [
+    SystemClass("mobile", n_chiplets=2, volume=1_000_000, needs_interposer=False),
+    SystemClass("desktop", n_chiplets=4, volume=400_000, needs_interposer=True),
+    SystemClass("datacenter", n_chiplets=16, volume=50_000, needs_interposer=True),
+]
+
+
+def test_yield_decreases_with_area():
+    process = ProcessCost()
+    assert process.die_yield(50) > process.die_yield(400)
+    assert 0 < process.die_yield(400) <= 1
+
+
+def test_die_cost_increases_with_area():
+    process = ProcessCost()
+    assert process.die_cost(100) > process.die_cost(25)
+
+
+def test_die_cost_validation():
+    with pytest.raises(ValueError):
+        ProcessCost().die_cost(0)
+
+
+def test_package_interposer_premium():
+    package = PackageCost()
+    assert package.cost(500, interposer=True) > package.cost(500, interposer=False)
+
+
+def test_uniform_strategy_pays_nre_per_system():
+    process = ProcessCost()
+    uniform = portfolio_cost(SYSTEMS, 80, strategy="uniform", process=process)
+    hetero = portfolio_cost(SYSTEMS, 80, strategy="hetero", process=process)
+    assert uniform.nre_usd == pytest.approx(len(SYSTEMS) * process.nre(80))
+    assert hetero.nre_usd == pytest.approx(process.nre(80 * (1 + HETERO_IF_AREA_OVERHEAD)))
+
+
+def test_hetero_silicon_costs_slightly_more_per_die():
+    uniform = portfolio_cost(SYSTEMS, 80, strategy="uniform")
+    hetero = portfolio_cost(SYSTEMS, 80, strategy="hetero")
+    assert hetero.silicon_usd > uniform.silicon_usd
+
+
+def test_reuse_saves_across_portfolio():
+    """The paper's flexibility-economy argument (Sec 4.3)."""
+    savings = reuse_savings(SYSTEMS, 80)
+    assert savings["saving_usd"] > 0
+    assert 0 < savings["saving_fraction"] < 1
+
+
+def test_single_system_favors_uniform():
+    """With one target system there is nothing to amortize: hetero loses."""
+    one = [SystemClass("only", 4, 1_000_000, needs_interposer=True)]
+    savings = reuse_savings(one, 80)
+    assert savings["saving_usd"] < 0
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        portfolio_cost(SYSTEMS, 80, strategy="magic")
+
+
+def test_per_system_breakdown_present():
+    result = portfolio_cost(SYSTEMS, 80, strategy="hetero")
+    assert set(result.systems) == {"mobile", "desktop", "datacenter"}
+    assert result.total_usd == pytest.approx(
+        result.nre_usd + result.silicon_usd + result.package_usd
+    )

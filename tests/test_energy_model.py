@@ -1,0 +1,44 @@
+"""Tests for the energy reporting helpers."""
+
+import pytest
+
+from repro.energy.model import EnergyReport, energy_report
+from repro.noc.flit import Packet
+from repro.sim.stats import Stats
+
+
+def test_report_from_stats():
+    stats = Stats()
+    packet = Packet(0, 1, 4, 0)
+    packet.arrive_cycle = 10
+    packet.energy_onchip_pj = 12.0
+    packet.energy_interface_pj = 36.0
+    stats.note_packet_injected(packet)
+    stats.note_packet_delivered(packet, 10)
+    report = energy_report(stats)
+    assert report.onchip_pj == pytest.approx(12.0)
+    assert report.interface_pj == pytest.approx(36.0)
+    assert report.total_pj == pytest.approx(48.0)
+    assert report.interface_share == pytest.approx(0.75)
+    assert report.packets == 1
+
+
+def test_zero_energy_share():
+    report = EnergyReport(onchip_pj=0.0, interface_pj=0.0, packets=0)
+    assert report.interface_share == 0.0
+    assert report.total_pj == 0.0
+
+
+def test_end_to_end_energy_report():
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import run_synthetic
+    from repro.topology.grid import ChipletGrid
+    from repro.topology.system import build_system
+
+    spec = build_system(
+        "hetero_phy_torus", ChipletGrid(2, 2, 3, 3), SimConfig(sim_cycles=1_200, warmup_cycles=200)
+    )
+    result = run_synthetic(spec, "uniform", 0.1, seed=2)
+    report = energy_report(result.stats)
+    assert report.total_pj > 0
+    assert 0 < report.interface_share < 1

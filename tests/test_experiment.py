@@ -1,0 +1,96 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import (
+    SweepPoint,
+    latency_rate_sweep,
+    run_synthetic,
+    run_trace,
+    saturation_rate,
+)
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+from repro.traffic.trace import Trace, TraceRecord
+
+CONFIG = SimConfig(sim_cycles=1_200, warmup_cycles=200)
+GRID = ChipletGrid(2, 2, 3, 3)
+
+
+def spec():
+    return build_system("hetero_phy_torus", GRID, CONFIG)
+
+
+def test_run_synthetic_returns_result():
+    result = run_synthetic(spec(), "uniform", 0.1)
+    assert result.n_nodes == 36
+    assert result.cycles == 1_200
+    assert result.workload == "uniform@0.1"
+    assert result.stats.packets_delivered > 0
+    assert not result.saturated
+
+
+def test_run_synthetic_policy_override():
+    result = run_synthetic(spec(), "uniform", 0.1, policy="energy_efficient")
+    assert result.policy == "energy_efficient"
+    assert result.phy_split[1] == 0
+
+
+def test_run_trace_collects_phy_split():
+    records = [TraceRecord(t, 0, 35, 8) for t in range(0, 200, 20)]
+    result = run_trace(spec(), Trace(records, name="t"))
+    assert result.stats.packets_delivered == len(records)
+    assert result.workload == "t"
+
+
+def test_run_trace_strict_raises_on_overload():
+    # one packet per cycle from everyone to node 0: cannot drain in margin.
+    records = [
+        TraceRecord(t, src, 0, 16)
+        for t in range(50)
+        for src in range(1, 36)
+    ]
+    with pytest.raises(RuntimeError):
+        run_trace(spec(), Trace(records, name="flood"), drain_margin=50)
+
+
+def test_run_trace_nonstrict_returns_partial():
+    records = [
+        TraceRecord(t, src, 0, 16)
+        for t in range(50)
+        for src in range(1, 36)
+    ]
+    result = run_trace(spec(), Trace(records, name="flood"), drain_margin=50, strict=False)
+    assert result.stats.delivered_fraction < 1.0
+
+
+def test_sweep_stops_after_saturation():
+    points = latency_rate_sweep(
+        spec(), "uniform", [0.05, 2.0, 3.0, 4.0], cycles=800, warmup=100
+    )
+    # sweeping stops at the first saturated point: it may only be the last.
+    assert len(points) < 4
+    for point in points[:-1]:
+        assert not point.saturated
+
+
+def test_sweep_point_saturation_flags():
+    ok = SweepPoint(0.1, 30.0, 0.99, 100.0)
+    bad = SweepPoint(0.5, 300.0, 0.3, 100.0)
+    nan = SweepPoint(0.5, math.nan, math.nan, math.nan)
+    assert not ok.saturated
+    assert bad.saturated
+    assert nan.saturated
+
+
+def test_saturation_rate_picks_last_good():
+    points = [
+        SweepPoint(0.1, 30, 0.99, 1),
+        SweepPoint(0.2, 40, 0.98, 1),
+        SweepPoint(0.3, 500, 0.2, 1),
+    ]
+    assert saturation_rate(points) == 0.2
+    assert math.isnan(saturation_rate([points[2]]))

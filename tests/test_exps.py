@@ -1,0 +1,126 @@
+"""Tests for the experiment modules (tiny scale).
+
+Each paper artifact's experiment must run and reproduce its qualitative
+shape at least at tiny scale.  The heavier cross-checks live in the
+benchmarks; these tests pin the structural properties.
+"""
+
+import math
+
+import pytest
+
+from repro.exps import EXPERIMENTS
+from repro.exps import fig8, table1, table4
+from repro.exps.common import ExperimentResult, current_scale, reduction
+
+
+def test_registry_covers_every_artifact():
+    expected = {
+        "table1",
+        "fig8",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "table3",
+        "table4",
+        "fig16",
+        "fig17",
+        "fig18",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_current_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+    assert current_scale() == "small"
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert current_scale() == "tiny"
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    assert current_scale() == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "warp")
+    monkeypatch.delenv("REPRO_FULL_SCALE")
+    with pytest.raises(ValueError):
+        current_scale()
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult("x", "t", ("a", "b"))
+    result.add(1, 2.0)
+    result.add(1, 4.0)
+    assert result.column("b") == [2.0, 4.0]
+    assert len(result.filtered(a=1)) == 2
+    with pytest.raises(ValueError):
+        result.add(1)
+    with pytest.raises(ValueError):
+        result.value("b", a=1)  # ambiguous
+    text = result.format()
+    assert "a" in text and "2.00" in text
+    assert result.to_csv().splitlines()[0] == "a,b"
+
+
+def test_reduction_helper():
+    assert reduction(100, 80) == pytest.approx(0.2)
+    assert math.isnan(reduction(0, 10))
+    assert math.isnan(reduction(float("nan"), 10))
+
+
+def test_fig8_hetero_dominates():
+    result = fig8.run("tiny")
+    for row in result.rows:
+        t, parallel, serial, compromised, hetero, _half = row
+        assert hetero >= max(parallel, serial) - 1e-9
+        assert hetero == pytest.approx(parallel + serial)
+
+
+def test_fig8_intercepts():
+    result = fig8.run("tiny")
+    # At t=5 (parallel delay) everything is still ~zero; serial stays zero
+    # until t=20.
+    t_vals = result.column("t_cycles")
+    idx = min(range(len(t_vals)), key=lambda i: abs(t_vals[i] - 15))
+    assert result.rows[idx][2] == 0.0  # serial column before its delay
+
+
+def test_table1_shape():
+    result = table1.run("tiny")
+    assert len(result.rows) == 5
+    assert result.value("pj_per_bit", interface="AIB") == 0.5
+
+
+def test_table4_overheads():
+    result = table4.run("tiny")
+    area = {row[0]: row[1] for row in result.rows}
+    assert area["hetero_router"] > area["router"]
+    assert any("overhead" in note for note in result.notes)
+
+
+@pytest.mark.slow
+def test_fig16_energy_orderings():
+    result = EXPERIMENTS["fig16"]("tiny")
+    # The serial-IF baseline is always the most energy-hungry under
+    # uniform traffic (Sec 8.3).
+    for group, baseline in (
+        ("hetero-phy", "serial-torus"),
+        ("hetero-channel", "serial-hypercube"),
+    ):
+        rows = result.filtered(group=group)
+        by_net = {}
+        for row in rows:
+            by_net.setdefault(row[1], []).append(row[5])
+        serial = min(by_net[baseline])
+        others = [min(v) for k, v in by_net.items() if k != baseline]
+        assert all(serial >= other for other in others)
+
+
+@pytest.mark.slow
+def test_fig18_serial_penalized_locally():
+    result = EXPERIMENTS["fig18"]("tiny")
+    spans = sorted(set(result.column("span")))
+    small = spans[0]
+    rows = {row[1]: row[2] for row in result.filtered(span=small)}
+    assert rows["serial-torus"] >= rows["parallel-mesh"]
+    # hetero tracks the better of the two at local scales
+    assert rows["hetero-phy-full"] <= rows["serial-torus"] + 1e-6

@@ -1,0 +1,77 @@
+"""The experiment setups must match the paper's configurations at `paper` scale."""
+
+from repro.exps import fig11, fig12, fig13, fig14, fig15, fig16, fig18, table3
+from repro.exps.common import HORIZONS, SCALES, scaled_config
+
+
+def test_scales_defined_everywhere():
+    for table in (fig11.GRIDS, fig11.RATES, fig13.SETUPS, fig14.GRIDS,
+                  fig14.RATES, fig15.SETUPS, fig16.GRIDS, fig18.GRIDS,
+                  fig12.APPS, fig12.DURATIONS):
+        assert set(table) == set(SCALES)
+
+
+def test_paper_scale_matches_table2_horizon():
+    assert HORIZONS["paper"] == (100_000, 10_000)
+    config = scaled_config("paper")
+    assert config.sim_cycles == 100_000
+    assert config.warmup_cycles == 10_000
+    assert config.packet_length == 16
+
+
+def test_fig11_paper_system_is_256_nodes():
+    grid = fig11.GRIDS["paper"]
+    assert (grid.chiplets_x, grid.chiplets_y) == (4, 4)
+    assert (grid.nodes_x, grid.nodes_y) == (4, 4)
+    assert grid.n_nodes == 256
+
+
+def test_fig12_system_is_64_nodes_at_all_scales():
+    assert fig12.GRID.n_nodes == 64
+    assert (fig12.GRID.chiplets_x, fig12.GRID.nodes_x) == (4, 2)
+    assert len(fig12.APPS["paper"]) == 9
+
+
+def test_fig13_paper_system_is_1296_nodes_1024_ranks():
+    grid, ranks, _cns, _moc, _scales = fig13.SETUPS["paper"]
+    assert grid.n_nodes == 1296
+    assert (grid.chiplets_x, grid.nodes_x) == (6, 6)
+    assert ranks == 1024
+
+
+def test_fig14_paper_system_is_3136_nodes():
+    grid = fig14.GRIDS["paper"]
+    assert grid.n_nodes == 3136
+    assert grid.n_chiplets == 64
+    assert (grid.nodes_x, grid.nodes_y) == (7, 7)
+
+
+def test_fig15_paper_core_nodes_fit_ranks():
+    grid, ranks, _cns, _moc, _scales = fig15.SETUPS["paper"]
+    assert ranks == 1024
+    assert len(grid.core_nodes()) >= ranks  # 25 core nodes x 64 chiplets
+
+
+def test_table3_covers_paper_scales():
+    labels = [label for label, _grid, _ch in table3.PAPER_SCALES]
+    assert labels == ["4x(2x2)", "16x(2x2)", "16x(4x4)", "16x(6x6)", "64x(7x7)"]
+    sizes = [grid.n_nodes for _l, grid, _ch in table3.PAPER_SCALES]
+    assert sizes == [16, 64, 256, 576, 3136]
+    # hetero-channel evaluated only for the three largest scales (paper
+    # leaves the small rows blank)
+    flags = [ch for _l, _g, ch in table3.PAPER_SCALES]
+    assert flags == [False, False, True, True, True]
+
+
+def test_fig16_paper_systems_match_sections():
+    phy_grid, channel_grid = fig16.GRIDS["paper"]
+    assert phy_grid.n_nodes == 1296  # "the large-scale 2D system of Sec 8.1.1"
+    assert channel_grid.n_nodes == 3136  # the Sec 8.1.2 system
+
+
+def test_fig18_spans_end_at_full_machine():
+    grid = fig18.GRIDS["paper"]
+    spans = fig18.spans_for(grid)
+    assert spans[0] == 2
+    assert spans[-1] == grid.width
+    assert all(a < b for a, b in zip(spans, spans[1:]))

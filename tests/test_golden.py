@@ -1,0 +1,52 @@
+"""Golden regression values.
+
+Simulations are deterministic given a seed, so these exact numbers lock
+in the current behaviour of the whole stack (routing, allocation,
+adapters, energy accounting) for one fixed configuration per family.  A
+change to any cycle-level mechanism will move them — which is the point:
+behavioural changes must be deliberate, reviewed, and re-golded.
+
+Note hetero_channel equals parallel_mesh here: at 2x2 chiplets Eq (5)
+never prefers the cube (H_P <= H_S for every pair), so the hetero-channel
+system degenerates to its parallel mesh, byte for byte.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import run_synthetic
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+
+CONFIG = SimConfig(sim_cycles=1_500, warmup_cycles=200)
+GRID = ChipletGrid(2, 2, 3, 3)
+
+#: family -> (packets delivered, avg latency, avg energy pJ) at seed 42.
+GOLDEN = {
+    "parallel_mesh": (312, 19.884615384615383, 1383.3846153846155),
+    "serial_torus": (309, 33.077669902912625, 2800.9216828478866),
+    "hetero_phy_torus": (312, 23.647435897435898, 1793.9692307692287),
+    "serial_hypercube": (308, 35.81818181818182, 2893.1324675324577),
+    "hetero_channel": (312, 19.884615384615383, 1383.3846153846155),
+}
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN))
+def test_golden_uniform_run(family):
+    spec = build_system(family, GRID, CONFIG)
+    result = run_synthetic(spec, "uniform", 0.1, seed=42)
+    packets, latency, energy = GOLDEN[family]
+    stats = result.stats
+    assert stats.packets_delivered == packets
+    assert stats.avg_latency == pytest.approx(latency, rel=1e-12)
+    assert stats.avg_energy_pj == pytest.approx(energy, rel=1e-9)
+
+
+def test_hetero_channel_degenerates_at_tiny_scale():
+    """Document the Eq (5) degeneracy the golden table relies on."""
+    from repro.routing.policies import HopCountSelector
+
+    selector = HopCountSelector(GRID)
+    for src in range(GRID.n_chiplets):
+        for dst in range(GRID.n_chiplets):
+            assert selector.select(src, dst) == "mesh"

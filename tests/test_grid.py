@@ -1,0 +1,152 @@
+"""Unit and property tests for chiplet grid geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.grid import DIRECTIONS, OPPOSITE, ChipletGrid
+
+grids = st.builds(
+    ChipletGrid,
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(1, 5),
+    st.integers(1, 5),
+)
+
+
+def test_sizes():
+    grid = ChipletGrid(4, 3, 5, 2)
+    assert grid.n_chiplets == 12
+    assert grid.nodes_per_chiplet == 10
+    assert grid.n_nodes == 120
+    assert grid.width == 20
+    assert grid.height == 6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChipletGrid(0, 1, 1, 1)
+
+
+@given(grids, st.data())
+def test_coords_roundtrip(grid, data):
+    node = data.draw(st.integers(0, grid.n_nodes - 1))
+    gx, gy = grid.coords(node)
+    assert grid.node_at(gx, gy) == node
+
+
+@given(grids, st.data())
+def test_chiplet_coords_roundtrip(grid, data):
+    chiplet = data.draw(st.integers(0, grid.n_chiplets - 1))
+    cx, cy = grid.chiplet_coords(chiplet)
+    assert grid.chiplet_at(cx, cy) == chiplet
+
+
+@given(grids, st.data())
+def test_local_coords_consistent(grid, data):
+    node = data.draw(st.integers(0, grid.n_nodes - 1))
+    chiplet = grid.chiplet_of(node)
+    lx, ly = grid.local_coords(node)
+    assert grid.node_of(chiplet, lx, ly) == node
+
+
+def test_out_of_range_rejected():
+    grid = ChipletGrid(2, 2, 2, 2)
+    with pytest.raises(ValueError):
+        grid.coords(16)
+    with pytest.raises(ValueError):
+        grid.node_at(4, 0)
+    with pytest.raises(ValueError):
+        grid.chiplet_coords(4)
+
+
+def test_neighbor_directions():
+    grid = ChipletGrid(2, 2, 2, 2)
+    node = grid.node_at(1, 1)
+    assert grid.neighbor(node, "E") == grid.node_at(2, 1)
+    assert grid.neighbor(node, "W") == grid.node_at(0, 1)
+    assert grid.neighbor(node, "N") == grid.node_at(1, 2)
+    assert grid.neighbor(node, "S") == grid.node_at(1, 0)
+
+
+def test_neighbor_at_edges_is_none():
+    grid = ChipletGrid(2, 2, 2, 2)
+    assert grid.neighbor(grid.node_at(0, 0), "W") is None
+    assert grid.neighbor(grid.node_at(0, 0), "S") is None
+    assert grid.neighbor(grid.node_at(3, 3), "E") is None
+    assert grid.neighbor(grid.node_at(3, 3), "N") is None
+
+
+@given(grids, st.data())
+def test_neighbor_symmetry(grid, data):
+    node = data.draw(st.integers(0, grid.n_nodes - 1))
+    direction = data.draw(st.sampled_from(sorted(DIRECTIONS)))
+    other = grid.neighbor(node, direction)
+    if other is not None:
+        assert grid.neighbor(other, OPPOSITE[direction]) == node
+
+
+def test_boundary_crossing():
+    grid = ChipletGrid(2, 1, 2, 2)
+    inner = grid.node_at(0, 0)
+    edge = grid.node_at(1, 0)
+    assert not grid.crosses_chiplet_boundary(inner, "E")
+    assert grid.crosses_chiplet_boundary(edge, "E")
+
+
+def test_interface_and_core_nodes():
+    grid = ChipletGrid(1, 1, 4, 4)
+    # 4x4 chiplet: 12 edge nodes, 4 core nodes.
+    interface = [n for n in range(16) if grid.is_interface_node(n)]
+    core = grid.core_nodes()
+    assert len(interface) == 12
+    assert len(core) == 4
+    assert set(interface) | set(core) == set(range(16))
+    assert all(not grid.is_interface_node(n) for n in core)
+
+
+def test_perimeter_enumeration_clockwise():
+    grid = ChipletGrid(1, 1, 3, 3)
+    ring = grid.perimeter_nodes(0)
+    assert len(ring) == 8
+    assert len(set(ring)) == 8
+    assert ring[0] == grid.node_of(0, 0, 0)
+    assert all(grid.is_interface_node(n) for n in ring)
+
+
+def test_perimeter_identical_slots_across_chiplets():
+    grid = ChipletGrid(2, 2, 3, 3)
+    rings = [grid.perimeter_nodes(c) for c in range(4)]
+    locals_ = [[grid.local_coords(n) for n in ring] for ring in rings]
+    assert all(loc == locals_[0] for loc in locals_)
+
+
+def test_perimeter_degenerate_shapes():
+    assert len(ChipletGrid(1, 1, 1, 1).perimeter_nodes(0)) == 1
+    assert len(ChipletGrid(1, 1, 1, 4).perimeter_nodes(0)) == 4
+    assert len(ChipletGrid(1, 1, 4, 1).perimeter_nodes(0)) == 4
+
+
+def test_chiplet_nodes_partition():
+    grid = ChipletGrid(2, 2, 2, 3)
+    seen = set()
+    for chiplet in range(grid.n_chiplets):
+        nodes = set(grid.chiplet_nodes(chiplet))
+        assert len(nodes) == grid.nodes_per_chiplet
+        assert all(grid.chiplet_of(n) == chiplet for n in nodes)
+        seen |= nodes
+    assert seen == set(range(grid.n_nodes))
+
+
+def test_mesh_chiplet_distance():
+    grid = ChipletGrid(4, 4, 2, 2)
+    assert grid.mesh_chiplet_distance(0, 15) == 6
+    assert grid.mesh_chiplet_distance(5, 5) == 0
+
+
+def test_cube_distance():
+    grid = ChipletGrid(4, 4, 2, 2)
+    assert grid.cube_distance(0, 15) == 4
+    assert grid.cube_distance(0, 0) == 0
+    assert grid.cube_distance(0b1010, 0b0101) == 4

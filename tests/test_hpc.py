@@ -1,0 +1,104 @@
+"""Tests for the HPC (DUMPI-substitute) trace generators."""
+
+import pytest
+
+from repro.topology.grid import ChipletGrid
+from repro.traffic.hpc import (
+    embed_ranks,
+    generate_cns_trace,
+    generate_moc_trace,
+    packetize,
+)
+
+GRID = ChipletGrid(4, 4, 4, 4)
+
+
+def test_packetize_splits_large_messages():
+    records = packetize(100, 3, 7, n_bytes=1000, max_packet_flits=16)
+    # 1000 bytes = 125 flits -> 7x16 + 13.
+    assert len(records) == 8
+    assert sum(r.length for r in records) == 125
+    assert all(r.length <= 16 for r in records)
+    # packets of one message injected on consecutive cycles
+    assert [r.cycle for r in records] == list(range(100, 108))
+
+
+def test_packetize_drops_self_messages():
+    assert packetize(0, 4, 4, 64) == []
+
+
+def test_packetize_minimum_one_flit():
+    records = packetize(0, 0, 1, n_bytes=1)
+    assert len(records) == 1
+    assert records[0].length == 1
+
+
+def test_cns_structure_neighbour_dominated():
+    trace = generate_cns_trace(n_ranks=64, iterations=3)
+    assert len(trace) > 0
+    # rank grid for 64 ranks is 4x4x4: halo partners differ by 1, 4 or 16.
+    strides = {abs(r.dst - r.src) for r in trace.records if r.msg_class == "bulk"}
+    # allreduce adds power-of-two partners, but halo strides dominate.
+    from collections import Counter
+
+    counts = Counter(abs(r.dst - r.src) for r in trace.records)
+    top = {s for s, _ in counts.most_common(3)}
+    assert top <= {1, 4, 16}
+
+
+def test_moc_structure_long_range():
+    trace = generate_moc_trace(n_ranks=64, iterations=2)
+    distances = [abs(r.dst - r.src) for r in trace.records]
+    assert max(distances) > 16  # long-range exchange present
+
+
+def test_rank_validation():
+    with pytest.raises(ValueError):
+        generate_cns_trace(n_ranks=1)
+    with pytest.raises(ValueError):
+        generate_moc_trace(n_ranks=1)
+
+
+def test_traces_deterministic():
+    a = generate_cns_trace(64, 2, seed=5)
+    b = generate_cns_trace(64, 2, seed=5)
+    assert a.records == b.records
+
+
+def test_embed_ranks_all_nodes():
+    trace = generate_cns_trace(64, 2)
+    embedded = embed_ranks(trace, GRID)
+    assert embedded.records
+    for record in embedded.records:
+        assert 0 <= record.src < GRID.n_nodes
+        assert 0 <= record.dst < GRID.n_nodes
+        assert record.src != record.dst
+
+
+def test_embed_ranks_core_only():
+    trace = generate_moc_trace(16, 2)
+    embedded = embed_ranks(trace, GRID, core_only=True)
+    core = set(GRID.core_nodes())
+    for record in embedded.records:
+        assert record.src in core
+        assert record.dst in core
+
+
+def test_embed_spreads_over_distinct_nodes():
+    trace = generate_cns_trace(64, 1)
+    embedded = embed_ranks(trace, GRID)
+    endpoints = {r.src for r in embedded.records} | {r.dst for r in embedded.records}
+    assert len(endpoints) >= 32
+
+
+def test_cns_load_in_sane_range():
+    """The generated offered load must be below network capacity."""
+    trace = embed_ranks(generate_cns_trace(256, 5), ChipletGrid(4, 4, 4, 4))
+    load = trace.offered_load(256)
+    assert 0.01 < load < 1.0
+
+
+def test_moc_load_in_sane_range():
+    trace = embed_ranks(generate_moc_trace(256, 3), ChipletGrid(4, 4, 4, 4))
+    load = trace.offered_load(256)
+    assert 0.01 < load < 1.0

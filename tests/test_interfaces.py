@@ -1,0 +1,71 @@
+"""Tests for the Table 1 interface records."""
+
+import pytest
+
+from repro.core.interfaces import (
+    AIB,
+    BOW,
+    SERDES,
+    TABLE1,
+    UCIE_ADVANCED,
+    UCIE_STANDARD,
+    lookup,
+)
+
+
+def test_table1_values():
+    assert SERDES.data_rate_gbps == 112.0
+    assert SERDES.power_pj_per_bit == 2.0
+    assert SERDES.reach_mm == 50.0
+    assert AIB.data_rate_gbps == 6.4
+    assert AIB.power_pj_per_bit == 0.5
+    assert AIB.reach_mm == 10.0
+    assert BOW.data_rate_gbps == 32.0
+    assert UCIE_STANDARD.reach_mm == 25.0
+    assert UCIE_ADVANCED.reach_mm == 2.0
+
+
+def test_categories():
+    assert SERDES.category == "serial"
+    assert AIB.category == "parallel"
+    assert BOW.category == "compromised"
+
+
+def test_total_latency_includes_digital_terms():
+    assert SERDES.total_latency_ns == pytest.approx(7.5)
+    assert AIB.total_latency_ns == pytest.approx(3.5)
+
+
+def test_lookup_case_insensitive():
+    assert lookup("aib") is AIB
+    assert lookup("SerDes") is SERDES
+    with pytest.raises(KeyError):
+        lookup("nvlink")
+
+
+def test_to_phy_conversion():
+    # 16 SerDes lanes at 1 GHz: 112*16/1 = 1792 bits/cycle = 28 flits.
+    phy = SERDES.to_phy(clock_ghz=1.0, lanes=16)
+    assert phy.bandwidth == 28
+    assert phy.delay == 8  # ceil(7.5 ns at 1 GHz)
+    assert phy.energy_pj_per_bit == 2.0
+
+
+def test_to_phy_minimums():
+    phy = AIB.to_phy(clock_ghz=2.0, lanes=1)  # 3.2 bits/cycle < 1 flit
+    assert phy.bandwidth == 1
+    with pytest.raises(ValueError):
+        AIB.to_phy(0, 4)
+
+
+def test_serdes_tradeoff_against_aib():
+    """The core Table 1 story: serial = fast+far+hot, parallel = slow+near+cool."""
+    assert SERDES.data_rate_gbps > AIB.data_rate_gbps
+    assert SERDES.reach_mm > AIB.reach_mm
+    assert SERDES.power_pj_per_bit > AIB.power_pj_per_bit
+    assert SERDES.total_latency_ns > AIB.total_latency_ns
+
+
+def test_table1_is_complete():
+    names = {spec.name for spec in TABLE1}
+    assert names == {"SerDes", "AIB", "BoW", "UCIe-S", "UCIe-A"}

@@ -1,0 +1,77 @@
+"""Property tests for negative-first mesh routing math."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.routing.mesh_moves import (
+    NEGATIVE_DIRS,
+    POSITIVE_DIRS,
+    is_negative_first_legal,
+    manhattan,
+    minimal_moves,
+    negative_first_moves,
+)
+
+coords = st.tuples(st.integers(0, 15), st.integers(0, 15))
+
+
+@given(coords, coords)
+def test_minimal_moves_empty_iff_arrived(cur, dst):
+    assert (not minimal_moves(cur, dst)) == (cur == dst)
+
+
+@given(coords, coords)
+def test_minimal_moves_reduce_distance(cur, dst):
+    deltas = {"E": (1, 0), "W": (-1, 0), "N": (0, 1), "S": (0, -1)}
+    for move in minimal_moves(cur, dst):
+        dx, dy = deltas[move]
+        nxt = (cur[0] + dx, cur[1] + dy)
+        assert manhattan(nxt, dst) == manhattan(cur, dst) - 1
+
+
+@given(coords, coords)
+def test_negative_first_subset_of_minimal(cur, dst):
+    assert set(negative_first_moves(cur, dst)) <= set(minimal_moves(cur, dst))
+
+
+@given(coords, coords)
+def test_negative_first_orders_negatives_first(cur, dst):
+    moves = negative_first_moves(cur, dst)
+    negatives_needed = [m for m in minimal_moves(cur, dst) if m in NEGATIVE_DIRS]
+    if negatives_needed:
+        assert set(moves) == set(negatives_needed)
+    else:
+        assert all(m in POSITIVE_DIRS for m in moves)
+
+
+@given(coords, coords)
+def test_negative_first_path_is_legal_and_terminates(cur, dst):
+    """Greedily following negative-first moves reaches dst on a legal path."""
+    deltas = {"E": (1, 0), "W": (-1, 0), "N": (0, 1), "S": (0, -1)}
+    path = []
+    pos = cur
+    for _ in range(100):
+        moves = negative_first_moves(pos, dst)
+        if not moves:
+            break
+        move = moves[0]
+        path.append(move)
+        dx, dy = deltas[move]
+        pos = (pos[0] + dx, pos[1] + dy)
+    assert pos == dst
+    assert len(path) == manhattan(cur, dst)
+    assert is_negative_first_legal(path)
+
+
+def test_is_negative_first_legal_examples():
+    assert is_negative_first_legal(["W", "S", "E", "N"])
+    assert is_negative_first_legal([])
+    assert is_negative_first_legal(["E", "N"])
+    assert not is_negative_first_legal(["E", "W"])
+    assert not is_negative_first_legal(["N", "S"])
+
+
+@given(coords, coords)
+def test_manhattan_symmetry(cur, dst):
+    assert manhattan(cur, dst) == manhattan(dst, cur)
+    assert manhattan(cur, cur) == 0

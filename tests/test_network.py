@@ -1,0 +1,97 @@
+"""Tests for network construction and the activity scheduler."""
+
+import pytest
+
+from repro.noc.channel import ChannelKind
+from repro.noc.flit import Packet
+from repro.noc.network import Network, default_link_factory
+from repro.sim.stats import Stats
+
+from .helpers import build_chain, chain_spec, forward_routing, run_cycles
+
+
+def test_requires_positive_size():
+    with pytest.raises(ValueError):
+        Network(0, Stats())
+
+
+def test_default_factory_rejects_hetero():
+    spec = chain_spec(0, 1, ChannelKind.HETERO_PHY)
+    with pytest.raises(ValueError, match="HeteroPhyLink"):
+        default_link_factory(spec)
+
+
+def test_step_requires_finalize():
+    network = Network(2, Stats())
+    network.add_channel(chain_spec(0, 1))
+    network.set_routing(forward_routing)
+    with pytest.raises(RuntimeError, match="finalize"):
+        network.step(0)
+
+
+def test_add_channel_after_finalize_rejected():
+    network, _ = build_chain(2)
+    with pytest.raises(RuntimeError):
+        network.add_channel(chain_spec(1, 0))
+
+
+def test_interface_credit_slack_applied():
+    """Interface channels get bandwidth x round-trip extra credits."""
+    network = Network(2, Stats())
+    onchip_spec = chain_spec(0, 1, ChannelKind.ONCHIP, buffer_depth=32)
+    network.add_channel(onchip_spec)
+    serial_spec = chain_spec(1, 0, ChannelKind.SERIAL, bandwidth=4, delay=20, buffer_depth=64)
+    network.add_channel(serial_spec)
+    onchip_credits = network.routers[0].outputs[1].credits[0]
+    serial_credits = network.routers[1].outputs[1].credits[0]
+    assert onchip_credits == 32  # on-chip: plain buffer depth
+    assert serial_credits == 64 + 4 * (20 + 20)  # buffer + bw * (delay + credit delay)
+
+
+def test_idle_network_deactivates_everything():
+    network, _ = build_chain(3)
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 50)
+    # After draining, further steps should find no active work.
+    assert network.buffered_flits() == 0
+    assert network.in_flight_flits() == 0
+    assert not network._router_work
+    assert not network._link_work
+
+
+def test_activity_wakes_on_injection():
+    network, _ = build_chain(2)
+    run_cycles(network, 5)
+    assert not network._router_work
+    network.inject(Packet(0, 1, 1, 5))
+    assert network._router_work
+    run_cycles(network, 10, start=5)
+    assert network.buffered_flits() == 0
+
+
+def test_serial_full_throughput_not_credit_limited():
+    """The 'additional buffer' (Sec 7.1) lets a serial link stream at 4/cy."""
+    network, stats = build_chain(
+        2, ChannelKind.SERIAL, bandwidth=4, delay=20, buffer_depth=64
+    )
+    # 25 packets of 16 flits = 400 flits; at 4 flits/cycle that is 100
+    # cycles of streaming + pipeline fill.
+    packets = [Packet(0, 1, 16, 0) for _ in range(25)]
+    for packet in packets:
+        network.inject(packet)
+    run_cycles(network, 200)
+    assert all(p.arrive_cycle is not None for p in packets)
+    last = max(p.arrive_cycle for p in packets)
+    # Without the slack, 64 credits over a ~40-cycle round trip cap
+    # the link at ~1.6 flits/cycle (>= 250 cycles for 400 flits).
+    assert last <= 150
+
+
+def test_stats_flow_from_network():
+    network, stats = build_chain(2)
+    packet = Packet(0, 1, 4, 0)
+    network.inject(packet)
+    stats.note_packet_injected(packet)
+    run_cycles(network, 20)
+    assert stats.packets_delivered == 1
+    assert stats.router_flits > 0

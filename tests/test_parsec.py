@@ -1,0 +1,100 @@
+"""Tests for the PARSEC-like trace generator."""
+
+import pytest
+
+from repro.topology.grid import ChipletGrid
+from repro.traffic.parsec import (
+    CONTROL_FLITS,
+    DATA_FLITS,
+    PARSEC_PROFILES,
+    generate_parsec_trace,
+)
+
+GRID = ChipletGrid(4, 4, 2, 2)  # the paper's 64-node PARSEC system
+
+
+def test_nine_applications_defined():
+    assert len(PARSEC_PROFILES) == 9
+    assert "canneal" in PARSEC_PROFILES and "blackscholes" in PARSEC_PROFILES
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ValueError):
+        generate_parsec_trace("doom", GRID, 100)
+
+
+def test_duration_validation():
+    with pytest.raises(ValueError):
+        generate_parsec_trace("canneal", GRID, 0)
+
+
+def test_netrace_packet_sizes_only():
+    trace = generate_parsec_trace("canneal", GRID, 2000)
+    sizes = {r.length for r in trace.records}
+    assert sizes <= {CONTROL_FLITS, DATA_FLITS}
+    assert sizes == {CONTROL_FLITS, DATA_FLITS}
+
+
+def test_requests_have_matching_replies():
+    trace = generate_parsec_trace("ferret", GRID, 2000)
+    # request/reply pairing: equal numbers of both packet sizes.
+    controls = sum(1 for r in trace.records if r.length == CONTROL_FLITS)
+    datas = sum(1 for r in trace.records if r.length == DATA_FLITS)
+    assert controls == datas
+
+
+def test_endpoints_within_grid():
+    trace = generate_parsec_trace("x264", GRID, 1000)
+    for record in trace.records:
+        assert 0 <= record.src < GRID.n_nodes
+        assert 0 <= record.dst < GRID.n_nodes
+        assert record.src != record.dst
+
+
+def test_rate_ordering_matches_profiles():
+    """Heavier applications generate proportionally more traffic."""
+    heavy = generate_parsec_trace("canneal", GRID, 4000)
+    light = generate_parsec_trace("blackscholes", GRID, 4000)
+    assert heavy.total_flits > 2 * light.total_flits
+
+
+def test_deterministic_given_seed():
+    a = generate_parsec_trace("dedup", GRID, 1000, seed=3)
+    b = generate_parsec_trace("dedup", GRID, 1000, seed=3)
+    assert a.records == b.records
+    c = generate_parsec_trace("dedup", GRID, 1000, seed=4)
+    assert a.records != c.records
+
+
+def test_locality_shifts_distance_distribution():
+    """A high-locality profile produces shorter-range traffic."""
+    import dataclasses
+
+    from repro.traffic import parsec
+
+    local = dataclasses.replace(PARSEC_PROFILES["canneal"], locality=0.9)
+    with_patch = dict(PARSEC_PROFILES)
+    with_patch["canneal"] = local
+    original = parsec.PARSEC_PROFILES
+    parsec.PARSEC_PROFILES = with_patch
+    try:
+        near = parsec.generate_parsec_trace("canneal", GRID, 3000)
+    finally:
+        parsec.PARSEC_PROFILES = original
+    far = generate_parsec_trace("canneal", GRID, 3000)
+
+    def mean_dist(trace):
+        total = n = 0
+        for r in trace.records:
+            (sx, sy), (dx, dy) = GRID.coords(r.src), GRID.coords(r.dst)
+            total += abs(sx - dx) + abs(sy - dy)
+            n += 1
+        return total / n
+
+    assert mean_dist(near) < mean_dist(far)
+
+
+def test_traffic_present_across_nodes():
+    trace = generate_parsec_trace("vips", GRID, 4000)
+    sources = {r.src for r in trace.records}
+    assert len(sources) > GRID.n_nodes // 2

@@ -1,0 +1,182 @@
+"""Tests for the hetero-PHY link and adapter (Sec 4.2)."""
+
+import pytest
+
+from repro.core.phy import HeteroPhyLink
+from repro.core.scheduling import make_dispatch_policy
+from repro.noc.channel import ChannelKind
+from repro.noc.flit import Packet
+from repro.noc.router import Router
+from repro.sim.config import SimConfig
+
+from .helpers import build_chain, chain_spec, run_cycles
+
+
+def hetero_chain(policy="performance", **kwargs):
+    return build_chain(2, ChannelKind.HETERO_PHY, policy=policy, **kwargs)
+
+
+def test_requires_hetero_spec():
+    with pytest.raises(ValueError):
+        HeteroPhyLink(chain_spec(0, 1), make_dispatch_policy("balanced", SimConfig()))
+
+
+def test_single_flit_uses_parallel_phy():
+    network, _ = hetero_chain(policy="balanced", bandwidth=2, delay=5)
+    link = network.links[0]
+    packet = Packet(0, 1, 1, 0)
+    network.inject(packet)
+    run_cycles(network, 40)
+    assert packet.arrive_cycle is not None
+    assert link.flits_parallel == 1
+    assert link.flits_serial == 0
+    # adapter adds one cycle on top of the parallel link's delay (Sec 8.2).
+    # chain with delay 1 gives arrival 3; parallel delay 5 adds 4; +1 adapter.
+    assert packet.arrive_cycle == 3 + 4 + 1
+
+
+def test_balanced_policy_keeps_single_packet_parallel():
+    network, _ = hetero_chain(policy="balanced")
+    link = network.links[0]
+    packet = Packet(0, 1, 16, 0)
+    network.inject(packet)
+    run_cycles(network, 60)
+    assert link.flits_serial == 0
+    assert link.flits_parallel == 16
+
+
+def test_balanced_policy_engages_serial_under_pressure():
+    network, _ = hetero_chain(policy="balanced")
+    link = network.links[0]
+    for _ in range(6):
+        network.inject(Packet(0, 1, 16, 0))
+    run_cycles(network, 200)
+    assert link.flits_serial > 0
+    assert link.flits_parallel > 0
+    assert link.flits_parallel + link.flits_serial == 96
+
+
+def test_performance_policy_uses_both_phys():
+    network, _ = hetero_chain(policy="performance")
+    link = network.links[0]
+    for _ in range(3):
+        network.inject(Packet(0, 1, 16, 0))
+    run_cycles(network, 100)
+    assert link.flits_serial > 0
+
+
+def test_energy_efficient_policy_never_uses_serial():
+    network, _ = hetero_chain(policy="energy_efficient")
+    link = network.links[0]
+    for _ in range(6):
+        network.inject(Packet(0, 1, 16, 0))
+    run_cycles(network, 300)
+    assert link.flits_serial == 0
+    assert link.flits_parallel == 96
+
+
+def test_flits_delivered_in_order_despite_phy_split():
+    """The reorder buffer restores per-VC transmit order (SN order)."""
+    network, _ = hetero_chain(policy="performance")
+    delivered: list[tuple[int, int]] = []
+    original = Router._eject
+
+    def spy(self, flit, now):
+        delivered.append((flit.packet.pid, flit.index))
+        original(self, flit, now)
+
+    Router._eject = spy
+    try:
+        packets = [Packet(0, 1, 16, 0) for _ in range(4)]
+        for packet in packets:
+            network.inject(packet)
+        run_cycles(network, 300)
+    finally:
+        Router._eject = original
+    assert all(p.arrive_cycle is not None for p in packets)
+    # per-packet flit order is strictly increasing
+    by_packet: dict[int, list[int]] = {}
+    for pid, index in delivered:
+        by_packet.setdefault(pid, []).append(index)
+    for indices in by_packet.values():
+        assert indices == sorted(indices)
+        assert indices == list(range(16))
+
+
+def test_rob_occupancy_bounded_by_eq1():
+    """Eq (1): ROB occupancy never exceeds B_p * (D_s - D_p)."""
+    network, _ = hetero_chain(policy="performance", bandwidth=2, delay=5)
+    link = network.links[0]
+    for _ in range(8):
+        network.inject(Packet(0, 1, 16, 0))
+    peak = 0
+    for now in range(400):
+        network.stats.now = now
+        network.step(now)
+        peak = max(peak, link.rob.occupancy)
+    bound = 2 * (20 - 5)
+    assert 0 < link.rob.max_occupancy <= bound
+
+
+def test_bypass_jumps_queue_for_priority_packet():
+    """A high-priority packet overtakes an identical plain packet (Sec 4.2).
+
+    The link bandwidth is halved so the adapter's dispatch queue backs up;
+    the priority packet skips that queue through the parallel-PHY bypass
+    while the plain packet waits behind the bulk flits.
+    """
+    network, _ = hetero_chain(
+        policy="performance", bandwidth=1, serial_bandwidth=2
+    )
+    bulk = [Packet(0, 1, 16, 0) for _ in range(4)]
+    for packet in bulk:
+        network.inject(packet)
+    urgent = Packet(0, 1, 1, 0, priority=5)
+    plain = Packet(0, 1, 1, 0)
+    network.inject(urgent)
+    network.inject(plain)
+    run_cycles(network, 600)
+    link = network.links[0]
+    assert urgent.arrive_cycle is not None and plain.arrive_cycle is not None
+    assert link.flits_bypassed >= 1
+    assert urgent.arrive_cycle < plain.arrive_cycle
+
+
+def test_bypass_disabled_under_energy_efficient_policy():
+    network, _ = hetero_chain(policy="energy_efficient")
+    for _ in range(2):
+        network.inject(Packet(0, 1, 16, 0))
+    network.inject(Packet(0, 1, 1, 0, priority=5))
+    run_cycles(network, 300)
+    assert network.links[0].flits_bypassed == 0
+
+
+def test_phy_split_property():
+    network, _ = hetero_chain(policy="performance")
+    link = network.links[0]
+    for _ in range(2):
+        network.inject(Packet(0, 1, 16, 0))
+    run_cycles(network, 100)
+    par, ser = link.phy_split
+    assert par == link.flits_parallel
+    assert ser == link.flits_serial
+    assert par + ser == 32
+
+
+def test_energy_charged_per_phy():
+    network, stats = hetero_chain(policy="energy_efficient", bandwidth=2, delay=5)
+    packet = Packet(0, 1, 4, 0)
+    network.inject(packet)
+    run_cycles(network, 60)
+    # chain_spec hetero: parallel energy 1.0 pJ/bit -> 64 pJ per flit.
+    assert packet.energy_interface_pj == pytest.approx(4 * 64 * 1.0)
+
+
+def test_accept_budget_respects_tx_fifo():
+    config = SimConfig(tx_fifo_depth=8)
+    network, _ = build_chain(
+        2, ChannelKind.HETERO_PHY, policy="energy_efficient", config=config
+    )
+    link = network.links[0]
+    assert link.tx_fifo_depth == 8
+    assert link.accept_budget(0) <= 6  # total bandwidth cap

@@ -1,0 +1,79 @@
+"""Tests for the paper-vs-measured report generator."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.exps.common import ExperimentResult
+from repro.exps.report import (
+    PAPER_TABLE3,
+    load_result,
+    summarize,
+    summarize_reductions,
+)
+
+
+def write_csv(tmp_path: Path, name: str, result: ExperimentResult) -> None:
+    (tmp_path / name).write_text(result.to_csv() + "\n")
+
+
+def test_load_result_roundtrip(tmp_path):
+    result = ExperimentResult("x", "t", ("a", "b", "c"))
+    result.add("net", 1, 2.5)
+    result.add("net2", 2, float("nan"))
+    write_csv(tmp_path, "x_tiny.csv", result)
+    loaded = load_result(tmp_path / "x_tiny.csv")
+    assert loaded.headers == ("a", "b", "c")
+    assert loaded.rows[0] == ("net", 1, 2.5)
+    assert math.isnan(loaded.rows[1][2])
+
+
+def test_summarize_reductions():
+    result = ExperimentResult("x", "t", ("network", "avg_latency"))
+    result.add("hetero", 80.0)
+    result.add("parallel", 100.0)
+    result.add("serial", 160.0)
+    vs_p, vs_s = summarize_reductions(
+        result, "avg_latency", "network", "hetero", "parallel", "serial"
+    )
+    assert vs_p == pytest.approx(0.2)
+    assert vs_s == pytest.approx(0.5)
+
+
+def test_summarize_reductions_with_group():
+    result = ExperimentResult("x", "t", ("group", "network", "total_pj"))
+    result.add("g1", "hetero", 50.0)
+    result.add("g1", "parallel", 100.0)
+    result.add("g1", "serial", 100.0)
+    result.add("g2", "hetero", 999.0)
+    vs_p, _ = summarize_reductions(
+        result, "total_pj", "network", "hetero", "parallel", "serial",
+        group_col="group", group="g1",
+    )
+    assert vs_p == pytest.approx(0.5)
+
+
+def test_summarize_handles_missing_files(tmp_path):
+    text = summarize(tmp_path, "small")
+    assert "scale `small`" in text  # degrades gracefully
+
+
+def test_summarize_renders_table3(tmp_path):
+    result = ExperimentResult(
+        "table3",
+        "t",
+        ("scale", "hphy_vs_parallel", "hphy_vs_serial", "hch_vs_parallel", "hch_vs_serial"),
+    )
+    result.add("16x(4x4)", 0.15, 0.2, 0.1, 0.2)
+    write_csv(tmp_path, "table3_small.csv", result)
+    text = summarize(tmp_path, "small")
+    assert "Table 3" in text
+    assert "+15.0%" in text
+    assert "+16.4%" in text  # the paper value rendered alongside
+
+
+def test_paper_table3_complete():
+    assert set(PAPER_TABLE3) == {
+        "4x(2x2)", "16x(2x2)", "16x(4x4)", "16x(6x6)", "64x(7x7)"
+    }

@@ -1,0 +1,119 @@
+"""Property-based tests over routing functions and random geometries.
+
+Hypothesis draws random grids and node pairs, and checks structural
+invariants that every family's routing function must satisfy: candidates
+point at real channels, escape candidates exist for every pair, and
+greedy escape-following terminates at the destination (connectivity of
+R0, the first half of Lemma 1, checked constructively).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.flit import Packet
+from repro.sim.build import build_network
+from repro.sim.config import SimConfig
+from repro.sim.stats import Stats
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+
+CONFIG = SimConfig()
+
+# Small random geometries; hypercube families need power-of-two chiplets.
+mesh_grids = st.builds(
+    ChipletGrid,
+    st.integers(1, 3),
+    st.integers(1, 3),
+    st.integers(2, 4),
+    st.integers(2, 4),
+)
+cube_grids = st.sampled_from(
+    [ChipletGrid(2, 1, 2, 2), ChipletGrid(2, 2, 2, 3), ChipletGrid(4, 2, 3, 2)]
+)
+
+_network_cache: dict = {}
+
+
+def network_for(family: str, grid: ChipletGrid):
+    key = (family, grid)
+    if key not in _network_cache:
+        spec = build_system(family, grid, CONFIG)
+        _network_cache[key] = build_network(spec, Stats())
+    return _network_cache[key]
+
+
+def follow_escape(network, src: int, dst: int, limit: int = 500) -> int:
+    """Greedily follow the first escape candidate; return the end node."""
+    node = src
+    for _ in range(limit):
+        if node == dst:
+            return node
+        router = network.routers[node]
+        candidates = router.routing_fn(router, Packet(node, dst, 1, 0))
+        escapes = [c for c in candidates if c[2]]
+        assert escapes, f"no escape candidate at {node} for {dst}"
+        port = escapes[0][0]
+        link = router.outputs[port].link
+        assert link is not None
+        node = link.dst_router.node
+    return node
+
+
+@settings(max_examples=30, deadline=None)
+@given(mesh_grids, st.data())
+@pytest.mark.parametrize("family", ["parallel_mesh", "serial_torus", "hetero_phy_torus"])
+def test_escape_following_reaches_destination_mesh_families(family, grid, data):
+    network = network_for(family, grid)
+    n = grid.n_nodes
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    if src == dst:
+        return
+    assert follow_escape(network, src, dst) == dst
+
+
+@settings(max_examples=30, deadline=None)
+@given(cube_grids, st.data())
+@pytest.mark.parametrize("family", ["serial_hypercube", "hetero_channel"])
+def test_escape_following_reaches_destination_cube_families(family, grid, data):
+    network = network_for(family, grid)
+    n = grid.n_nodes
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    if src == dst:
+        return
+    assert follow_escape(network, src, dst) == dst
+
+
+@settings(max_examples=20, deadline=None)
+@given(mesh_grids, st.data())
+def test_candidates_are_well_formed(grid, data):
+    network = network_for("hetero_phy_torus", grid)
+    n = grid.n_nodes
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    if src == dst:
+        return
+    router = network.routers[src]
+    for port, vc, escape in router.routing_fn(router, Packet(src, dst, 1, 0)):
+        assert 0 <= port < len(router.outputs)
+        out = router.outputs[port]
+        assert 0 <= vc < out.n_vcs
+        assert isinstance(escape, bool)
+
+
+@settings(max_examples=20, deadline=None)
+@given(cube_grids, st.data())
+def test_hetero_channel_candidates_unique(grid, data):
+    """No duplicate (port, vc) pairs in a candidate set."""
+    network = network_for("hetero_channel", grid)
+    n = grid.n_nodes
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    if src == dst:
+        return
+    router = network.routers[src]
+    candidates = router.routing_fn(router, Packet(src, dst, 1, 0))
+    pairs = [(p, v) for p, v, _e in candidates]
+    assert len(pairs) == len(set(pairs))

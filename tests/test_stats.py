@@ -1,0 +1,118 @@
+"""Tests for the statistics collector."""
+
+import math
+
+import pytest
+
+from repro.noc.channel import ChannelKind, KIND_IDS
+from repro.noc.flit import Packet
+from repro.sim.stats import DeadlockError, Stats
+
+
+def delivered_packet(create=0, arrive=30, length=4):
+    packet = Packet(0, 1, length, create)
+    packet.arrive_cycle = arrive
+    packet.hops_onchip = 3
+    packet.hops_interface = 1
+    packet.energy_onchip_pj = 10.0
+    packet.energy_interface_pj = 20.0
+    return packet
+
+
+def test_empty_stats_are_nan():
+    stats = Stats()
+    assert math.isnan(stats.avg_latency)
+    assert math.isnan(stats.avg_energy_pj)
+    assert math.isnan(stats.latency_variance)
+    assert math.isnan(stats.delivered_fraction)
+    assert math.isnan(stats.latency_percentile(50))
+
+
+def test_latency_accounting():
+    stats = Stats()
+    for arrive in (10, 20, 30):
+        packet = delivered_packet(arrive=arrive)
+        stats.note_packet_injected(packet)
+        stats.note_packet_delivered(packet, arrive)
+    assert stats.avg_latency == pytest.approx(20)
+    assert stats.latency_variance == pytest.approx(200 / 3)
+    assert stats.latency_stddev == pytest.approx(math.sqrt(200 / 3))
+    assert stats.packets_delivered == 3
+    assert stats.delivered_fraction == pytest.approx(1.0)
+
+
+def test_warmup_packets_excluded():
+    stats = Stats(measure_from=100)
+    early = delivered_packet(create=50, arrive=80)
+    late = delivered_packet(create=150, arrive=190)
+    for packet in (early, late):
+        stats.note_packet_injected(packet)
+        stats.note_packet_delivered(packet, packet.arrive_cycle)
+    assert stats.packets_delivered == 1
+    assert stats.measured_injected == 1
+    assert stats.avg_latency == pytest.approx(40)
+
+
+def test_energy_split():
+    stats = Stats()
+    packet = delivered_packet()
+    stats.note_packet_injected(packet)
+    stats.note_packet_delivered(packet, packet.arrive_cycle)
+    assert stats.avg_energy_onchip_pj == pytest.approx(10)
+    assert stats.avg_energy_interface_pj == pytest.approx(20)
+    assert stats.avg_energy_pj == pytest.approx(30)
+    assert stats.avg_hops == pytest.approx(4)
+
+
+def test_link_counters_by_kind():
+    stats = Stats()
+    stats.note_link_flit(KIND_IDS[ChannelKind.SERIAL], 153.6)
+    stats.note_link_flit(KIND_IDS[ChannelKind.SERIAL], 153.6)
+    stats.note_link_flit(KIND_IDS[ChannelKind.ONCHIP], 6.4)
+    assert stats.link_flits[ChannelKind.SERIAL] == 2
+    assert stats.link_flits[ChannelKind.ONCHIP] == 1
+    assert stats.link_energy_pj[ChannelKind.SERIAL] == pytest.approx(307.2)
+
+
+def test_percentiles():
+    stats = Stats()
+    for arrive in range(1, 101):
+        packet = delivered_packet(arrive=arrive)
+        stats.note_packet_injected(packet)
+        stats.note_packet_delivered(packet, arrive)
+    assert stats.latency_percentile(50) == pytest.approx(50)
+    assert stats.latency_percentile(99) == pytest.approx(99)
+    with pytest.raises(ValueError):
+        stats.latency_percentile(0)
+
+
+def test_throughput():
+    stats = Stats()
+    packet = delivered_packet(length=8)
+    stats.note_packet_injected(packet)
+    stats.note_packet_delivered(packet, 30)
+    assert stats.throughput(n_nodes=4, measured_cycles=10) == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        stats.throughput(0, 10)
+
+
+def test_progress_tracking():
+    stats = Stats()
+    stats.now = 42
+    stats.note_router_flit()
+    assert stats.last_movement_cycle == 42
+    assert stats.router_flits == 1
+
+
+def test_summary_keys():
+    stats = Stats()
+    summary = stats.summary()
+    assert "avg_latency" in summary
+    assert "avg_energy_pj" in summary
+    assert "p99_latency" in summary
+
+
+def test_deadlock_error_message():
+    err = DeadlockError(cycle=500, buffered=12, stalled_for=100)
+    assert "500" in str(err)
+    assert err.buffered == 12

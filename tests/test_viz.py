@@ -1,0 +1,100 @@
+"""Tests for the text visualization helpers."""
+
+import math
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import run_synthetic
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+from repro.viz import ascii_curve, link_utilization_table, render_topology, utilization_heatmap
+
+from .conftest import make_network
+
+
+def test_render_topology_mentions_structure():
+    spec = build_system("hetero_channel", ChipletGrid(2, 2, 3, 3), SimConfig())
+    text = render_topology(spec)
+    assert "2x2 chiplets" in text
+    assert "hypercube" in text
+    assert "parallel" in text and "serial" in text
+
+
+def test_render_topology_torus_legend():
+    spec = build_system("hetero_phy_torus", ChipletGrid(2, 2, 3, 3), SimConfig())
+    text = render_topology(spec)
+    assert "wraparound" in text
+    assert "hetero_phy" in text
+
+
+def _finished_run():
+    config = SimConfig(sim_cycles=1_000, warmup_cycles=100)
+    grid = ChipletGrid(2, 2, 3, 3)
+    spec = build_system("parallel_mesh", grid, config)
+    from repro.sim.build import build_network
+    from repro.sim.engine import Engine
+    from repro.sim.stats import Stats
+    from repro.traffic.injection import SyntheticWorkload
+    from repro.traffic.patterns import make_pattern
+
+    stats = Stats(measure_from=100)
+    network = build_network(spec, stats)
+    workload = SyntheticWorkload(
+        make_pattern("uniform", grid.n_nodes), grid.n_nodes, 0.1, 16, until=1_000, seed=1
+    )
+    Engine(network, workload, stats).run(1_000)
+    return spec, network
+
+
+def test_utilization_heatmap_shape():
+    spec, network = _finished_run()
+    text = utilization_heatmap(network, spec, cycles=1_000)
+    lines = text.splitlines()
+    assert len(lines) == spec.grid.height + 1
+    assert all(len(line) == spec.grid.width for line in lines[1:])
+    with pytest.raises(ValueError):
+        utilization_heatmap(network, spec, cycles=0)
+
+
+def test_link_utilization_table():
+    spec, network = _finished_run()
+    text = link_utilization_table(network, cycles=1_000, top=5)
+    lines = text.splitlines()
+    assert len(lines) <= 6
+    assert "onchip" in text or "parallel" in text
+    # utilizations sorted descending
+    flits = [int(line.split()[2]) for line in lines[1:]]
+    assert flits == sorted(flits, reverse=True)
+
+
+def test_ascii_curve_basic():
+    text = ascii_curve([0, 1, 2, 3], [10, 20, 15, 40], label="latency")
+    assert "latency" in text
+    assert "*" in text
+    assert "40.0" in text and "10.0" in text
+
+
+def test_ascii_curve_handles_nan():
+    text = ascii_curve([0, 1, 2], [10, float("nan"), 30])
+    assert "*" in text
+
+
+def test_ascii_curve_validation():
+    with pytest.raises(ValueError):
+        ascii_curve([], [])
+    with pytest.raises(ValueError):
+        ascii_curve([1, 2], [1])
+    assert "no finite points" in ascii_curve([1], [math.nan])
+
+
+def test_render_path():
+    from repro.viz import render_path
+
+    spec = build_system("parallel_mesh", ChipletGrid(2, 2, 3, 3), SimConfig())
+    text = render_path(spec, [0, 1, 2, 8])
+    lines = text.splitlines()
+    assert "S" in text and "D" in text and "o" in text
+    assert len(lines) == spec.grid.height + 1
+    with pytest.raises(ValueError):
+        render_path(spec, [])
