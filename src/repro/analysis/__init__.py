@@ -1,0 +1,47 @@
+"""Static verification and runtime sanitizing for chiplet systems.
+
+Three layers (see ``docs/analysis.md``):
+
+* **static verification** — :func:`verify_network` / :func:`verify_family`
+  run the topology/config linter, the (extended) channel-dependency-graph
+  deadlock check and the routing-state livelock check over a built system
+  and return a :class:`Report`;
+* **runtime sanitizer** — :class:`InvariantChecker` instruments a network
+  and asserts flow-control invariants while a simulation runs;
+* **CLI** — ``repro check`` exposes the static passes with a non-zero
+  exit code on violations, for CI gating.
+"""
+
+from .cdg import MODES, ChannelDependencyGraph, build_cdg, split_candidates
+from .lint import lint_network, lint_spec
+from .livelock import LivelockAnalysis, analyse_livelock
+from .report import Finding, Report, Severity
+from .sanitizer import InvariantChecker, InvariantViolation
+from .verifier import (
+    DEFAULT_CHIPLETS,
+    DEFAULT_NODES,
+    verify_all,
+    verify_family,
+    verify_network,
+)
+
+__all__ = [
+    "MODES",
+    "ChannelDependencyGraph",
+    "build_cdg",
+    "split_candidates",
+    "lint_network",
+    "lint_spec",
+    "LivelockAnalysis",
+    "analyse_livelock",
+    "Finding",
+    "Report",
+    "Severity",
+    "InvariantChecker",
+    "InvariantViolation",
+    "DEFAULT_CHIPLETS",
+    "DEFAULT_NODES",
+    "verify_all",
+    "verify_family",
+    "verify_network",
+]

@@ -1,0 +1,166 @@
+"""Generalized channel-dependency-graph construction.
+
+:mod:`repro.routing.deadlock` verifies Lemma 1 under the *virtual
+cut-through* shortcut: a packet holds at most its current channel while
+requesting the next one, so only **direct** dependencies between
+consecutive escape channels matter.  This module generalizes that to
+Duato's full condition for wormhole switching, where a blocked packet
+holds every channel back to its tail: an escape channel then also acquires
+**indirect** (extended) dependencies on every escape channel the packet
+may request after crossing a chain of adaptive (non-escape) channels.
+
+Two modes:
+
+``"vct"``
+    Direct dependencies only — exact for the repository's routers, which
+    enforce whole-packet (virtual cut-through) buffer allocation.
+``"wormhole"``
+    Direct plus indirect dependencies — Duato's extended channel
+    dependency graph of the escape subfunction R0.  Acyclicity of this
+    graph proves deadlock freedom even for plain wormhole flow control.
+
+Vertices are ``(link index, virtual channel)`` pairs, as in the VCT
+analyser; both analyses therefore interoperate (and share the public
+:attr:`repro.noc.link.Link.index` property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.routing.deadlock import EscapeChannel, find_cycle
+
+#: Analysis modes understood by :func:`build_cdg`.
+MODES = ("vct", "wormhole")
+
+
+@dataclass
+class ChannelDependencyGraph:
+    """Escape-channel dependency graph with direct/indirect edge split."""
+
+    #: vertex -> all successors (direct + indirect).
+    edges: dict[EscapeChannel, set[EscapeChannel]] = field(default_factory=dict)
+    #: vertex -> successors reached only through an adaptive chain.
+    indirect: dict[EscapeChannel, set[EscapeChannel]] = field(default_factory=dict)
+    mode: str = "vct"
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_direct(self) -> int:
+        total = sum(len(v) for v in self.edges.values())
+        return total - self.n_indirect
+
+    @property
+    def n_indirect(self) -> int:
+        return sum(len(v) for v in self.indirect.values())
+
+    def cycle(self) -> list[EscapeChannel]:
+        """A dependency cycle, or ``[]`` if the graph is acyclic."""
+        return find_cycle(self.edges)
+
+    def cycle_uses_indirect(self, cycle: list[EscapeChannel]) -> bool:
+        """True if the given cycle needs at least one indirect edge."""
+        for a, b in zip(cycle, cycle[1:]):
+            if b in self.indirect.get(a, ()):
+                return True
+        return False
+
+
+def _probe(node: int, dst: int, *, banned: bool = False) -> Packet:
+    """A throwaway packet used to query a routing function."""
+    packet = Packet(node, dst, length=1, create_cycle=0)
+    packet.adaptive_banned = banned
+    return packet
+
+
+def split_candidates(
+    network: Network, node: int, dst: int, *, banned: bool = False
+) -> tuple[list[EscapeChannel], list[EscapeChannel]]:
+    """(escape, adaptive) channels offered at ``node`` for ``dst``.
+
+    Ejection candidates are dropped; each entry is a ``(link index, vc)``
+    vertex.  ``banned`` queries the post-fallback candidate set (the
+    livelock rule of Sec 6.2 restricts adaptive candidates after a packet
+    falls back to escape under congestion).
+    """
+    router = network.routers[node]
+    if node == dst:
+        return [], []
+    escape: list[EscapeChannel] = []
+    adaptive: list[EscapeChannel] = []
+    for port, vc, is_escape in router.routing_fn(router, _probe(node, dst, banned=banned)):
+        link = router.outputs[port].link
+        if link is None:  # ejection
+            continue
+        (escape if is_escape else adaptive).append((link.index, vc))
+    return escape, adaptive
+
+
+def build_cdg(network: Network, mode: str = "vct") -> ChannelDependencyGraph:
+    """The (extended) channel dependency graph of the escape subfunction.
+
+    For every destination the per-node escape and adaptive candidate sets
+    are enumerated once (in both the banned and unbanned routing states —
+    their union over-approximates any reachable packet state, so
+    acyclicity of the result is a sound certificate).  Direct dependencies
+    connect an escape channel to the escape channels offered at its
+    downstream node; in ``wormhole`` mode, indirect dependencies
+    additionally connect it to escape channels offered at any node
+    reachable from there through one or more adaptive hops.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    n = network.n_nodes
+    links = network.links
+    graph = ChannelDependencyGraph(mode=mode)
+    edges = graph.edges
+    for dst in range(n):
+        escape_at: dict[int, list[EscapeChannel]] = {}
+        adaptive_next: dict[int, set[int]] = {}
+        for node in range(n):
+            if node == dst:
+                escape_at[node] = []
+                adaptive_next[node] = set()
+                continue
+            esc_plain, adapt_plain = split_candidates(network, node, dst)
+            esc_banned, adapt_banned = split_candidates(network, node, dst, banned=True)
+            escape_at[node] = list(dict.fromkeys(esc_plain + esc_banned))
+            adaptive_next[node] = {
+                links[link_idx].dst_router.node
+                for link_idx, _vc in adapt_plain + adapt_banned
+            }
+        for node in range(n):
+            if node == dst:
+                continue
+            for channel in escape_at[node]:
+                deps = edges.setdefault(channel, set())
+                downstream = links[channel[0]].dst_router.node
+                deps.update(escape_at[downstream])
+                if mode == "wormhole":
+                    for via in _adaptive_reachable(adaptive_next, downstream, dst):
+                        offered = escape_at[via]
+                        fresh = [c for c in offered if c not in deps]
+                        if fresh:
+                            deps.update(fresh)
+                            graph.indirect.setdefault(channel, set()).update(fresh)
+    return graph
+
+
+def _adaptive_reachable(
+    adaptive_next: dict[int, set[int]], start: int, dst: int
+) -> set[int]:
+    """Nodes reachable from ``start`` via >= 1 adaptive hop (``dst`` excluded)."""
+    seen: set[int] = set()
+    frontier = [n for n in adaptive_next[start] if n != dst]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(n for n in adaptive_next[node] if n != dst and n not in seen)
+    return seen

@@ -1,0 +1,207 @@
+"""Static livelock analysis: bounded misroutes from the routing policies.
+
+The routing functions guarantee livelock freedom through two mechanisms
+(Sec 6.2 / 8.1.2 of the paper): adaptive candidates are *profitable*
+(they strictly decrease a per-family progress measure), and a packet that
+falls back to escape under congestion is *banned* from further free
+adaptive use.  This module checks both mechanically, per destination, on
+the **routing state graph**:
+
+    vertex  = (node, banned?, subnetwork choice)
+    edge    = one candidate hop, carrying the packet state forward
+
+Ban transitions follow the VC allocator exactly: taking an escape
+candidate while adaptive candidates were on offer sets ``banned`` (that
+is the only way escape is used in that situation — adaptive candidates
+win allocation whenever one is free).  The hetero-channel subnetwork
+choice rides along in the state, so the absorbing cube->mesh switch of
+Eq (5) is modelled faithfully rather than approximated.
+
+If every destination's state graph is acyclic, **no packet can revisit a
+routing state**, so hop counts are bounded by the longest path through
+the graph; the analysis reports that bound and the worst-case *misroute
+slack* (bound minus shortest achievable distance).  A cycle is reported
+with its witness states — a potential livelock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.routing.deadlock import find_cycle
+
+#: A routing state: (node, adaptive_banned, subnet_choice).
+RoutingState = tuple[int, bool, Optional[str]]
+
+
+@dataclass
+class LivelockAnalysis:
+    """Result of the state-graph livelock check on one network."""
+
+    bounded: bool
+    #: Worst-case hops of any packet, over all (src, dst) pairs; -1 if unbounded.
+    max_hops: int
+    #: Worst-case (hop bound - shortest path) over all pairs; -1 if unbounded.
+    max_misroute: int
+    #: Witness cycle of routing states, when unbounded.
+    cycle: list[RoutingState] = field(default_factory=list)
+    #: Destination whose state graph contains the witness cycle.
+    cycle_dst: int = -1
+    n_states: int = 0
+
+
+def _probe(node: int, dst: int, state: RoutingState) -> Packet:
+    packet = Packet(node, dst, length=1, create_cycle=0)
+    packet.adaptive_banned = state[1]
+    packet.subnet_choice = state[2]
+    return packet
+
+
+def _state_graph(
+    network: Network, dst: int
+) -> dict[RoutingState, set[RoutingState]]:
+    """Reachable routing-state graph for one destination.
+
+    Exploration starts from the fresh-injection state of every source and
+    follows candidates, updating the ban flag and any subnetwork choice
+    the routing function writes into the probe.  States whose node is the
+    destination are terminal (the packet ejects).
+    """
+    graph: dict[RoutingState, set[RoutingState]] = {}
+    frontier: list[RoutingState] = [
+        (src, False, None) for src in range(network.n_nodes) if src != dst
+    ]
+    while frontier:
+        state = frontier.pop()
+        if state in graph:
+            continue
+        successors: set[RoutingState] = set()
+        graph[state] = successors
+        node, banned, _choice = state
+        router = network.routers[node]
+        probe = _probe(node, dst, state)
+        candidates = router.routing_fn(router, probe)
+        choice_after = probe.subnet_choice
+        saw_adaptive = any(not is_escape for _p, _v, is_escape in candidates)
+        for port, _vc, is_escape in candidates:
+            link = router.outputs[port].link
+            if link is None:  # ejection: terminal
+                continue
+            next_node = link.dst_router.node
+            # Escape is taken alongside live adaptive candidates only when
+            # every adaptive candidate is blocked — which bans the packet.
+            next_banned = banned or (is_escape and saw_adaptive)
+            succ = (next_node, next_banned, choice_after)
+            if next_node == dst:
+                succ = (dst, next_banned, choice_after)  # terminal vertex
+            successors.add(succ)
+            if next_node != dst and succ not in graph:
+                frontier.append(succ)
+    return graph
+
+
+def _longest_paths(
+    graph: dict[RoutingState, set[RoutingState]], dst: int
+) -> dict[RoutingState, int]:
+    """Longest hop count from each state to ejection (graph must be a DAG)."""
+    depth: dict[RoutingState, int] = {}
+
+    def resolve(state: RoutingState) -> int:
+        if state[0] == dst:
+            return 0
+        known = depth.get(state)
+        if known is not None:
+            return known
+        # Iterative post-order to survive deep graphs without recursion.
+        stack = [state]
+        while stack:
+            current = stack[-1]
+            if current[0] == dst or current in depth:
+                stack.pop()
+                continue
+            missing = [
+                s for s in graph.get(current, ()) if s[0] != dst and s not in depth
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            best = 0
+            for succ in graph.get(current, ()):
+                best = max(best, (0 if succ[0] == dst else depth[succ]) + 1)
+            depth[current] = best
+            stack.pop()
+        return depth[state]
+
+    for state in graph:
+        resolve(state)
+    return depth
+
+
+def _shortest_hops(network: Network, dst: int) -> dict[int, int]:
+    """BFS shortest hop counts to ``dst`` over the full candidate edge set."""
+    forward: dict[int, set[int]] = {}
+    for node in range(network.n_nodes):
+        if node == dst:
+            continue
+        router = network.routers[node]
+        nexts: set[int] = set()
+        probe = _probe(node, dst, (node, False, None))
+        for port, _vc, _esc in router.routing_fn(router, probe):
+            link = router.outputs[port].link
+            if link is not None:
+                nexts.add(link.dst_router.node)
+        forward[node] = nexts
+    dist = {dst: 0}
+    frontier = [dst]
+    reverse: dict[int, set[int]] = {}
+    for node, nexts in forward.items():
+        for nxt in nexts:
+            reverse.setdefault(nxt, set()).add(node)
+    while frontier:
+        nxt_frontier: list[int] = []
+        for node in frontier:
+            for prev in reverse.get(node, ()):
+                if prev not in dist:
+                    dist[prev] = dist[node] + 1
+                    nxt_frontier.append(prev)
+        frontier = nxt_frontier
+    return dist
+
+
+def analyse_livelock(network: Network) -> LivelockAnalysis:
+    """Run the bounded-misroute check over every destination."""
+    max_hops = 0
+    max_misroute = 0
+    n_states = 0
+    for dst in range(network.n_nodes):
+        graph = _state_graph(network, dst)
+        n_states += len(graph)
+        cycle = find_cycle(graph)
+        if cycle:
+            return LivelockAnalysis(
+                bounded=False,
+                max_hops=-1,
+                max_misroute=-1,
+                cycle=cycle,
+                cycle_dst=dst,
+                n_states=n_states,
+            )
+        depth = _longest_paths(graph, dst)
+        shortest = _shortest_hops(network, dst)
+        for src in range(network.n_nodes):
+            if src == dst:
+                continue
+            bound = depth.get((src, False, None), 0)
+            max_hops = max(max_hops, bound)
+            minimum = shortest.get(src)
+            if minimum is not None:
+                max_misroute = max(max_misroute, bound - minimum)
+    return LivelockAnalysis(
+        bounded=True,
+        max_hops=max_hops,
+        max_misroute=max_misroute,
+        n_states=n_states,
+    )

@@ -1,0 +1,96 @@
+"""Findings and reports produced by the static verification passes.
+
+Every analysis pass (deadlock, livelock, lint) appends :class:`Finding`
+records to a shared :class:`Report`.  A finding carries a severity, a
+stable machine-readable code (used by tests and CI gating), the entity it
+concerns and a human-readable message.  ``Report.ok`` is the CI gate: a
+report passes iff it contains no ERROR findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Only ERROR findings fail a report."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One issue (or notable fact) surfaced by an analysis pass."""
+
+    severity: Severity
+    code: str  # stable identifier, e.g. "CDG-CYCLE" or "ROB-UNDERSIZED"
+    target: str  # what the finding concerns, e.g. "link 12" or "node 3"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.name:7s} {self.code:18s} {self.target}: {self.message}"
+
+
+@dataclass
+class Report:
+    """Accumulated findings of all verification passes over one system."""
+
+    system: str
+    mode: str = "vct"
+    findings: list[Finding] = field(default_factory=list)
+    #: Names of the passes that ran (order preserved).
+    passes: list[str] = field(default_factory=list)
+    #: Headline numbers of the analyses (channel counts, hop bounds, ...).
+    metrics: dict[str, int | float] = field(default_factory=dict)
+
+    def add(self, severity: Severity, code: str, target: str, message: str) -> None:
+        self.findings.append(Finding(severity, code, target, message))
+
+    def error(self, code: str, target: str, message: str) -> None:
+        self.add(Severity.ERROR, code, target, message)
+
+    def warning(self, code: str, target: str, message: str) -> None:
+        self.add(Severity.WARNING, code, target, message)
+
+    def info(self, code: str, target: str, message: str) -> None:
+        self.add(Severity.INFO, code, target, message)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no ERROR finding was recorded (the CI gate)."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def codes(self) -> set[str]:
+        """Distinct finding codes (handy in tests)."""
+        return {f.code for f in self.findings}
+
+    def render(self, *, verbose: bool = False) -> str:
+        """Human-readable multi-line summary of the report."""
+        lines = [f"== {self.system} [mode={self.mode}] =="]
+        shown = (
+            self.findings
+            if verbose
+            else [f for f in self.findings if f.severity is not Severity.INFO]
+        )
+        lines.extend(f"  {finding}" for finding in shown)
+        if self.metrics:
+            metrics = ", ".join(f"{k}={v}" for k, v in sorted(self.metrics.items()))
+            lines.append(f"  metrics: {metrics}")
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"  {verdict}: {len(self.passes)} passes, "
+            f"{n_err} error(s), {n_warn} warning(s)"
+        )
+        return "\n".join(lines)

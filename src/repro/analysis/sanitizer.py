@@ -1,0 +1,255 @@
+"""Opt-in runtime invariant sanitizer for the cycle-level simulator.
+
+Attach an :class:`InvariantChecker` to a built network (before injecting
+traffic) and every invariant below is asserted as the simulation runs,
+turning silent state corruption into an immediate
+:class:`InvariantViolation` with a precise message:
+
+* **credit conservation** — for every (link, VC): transmitter credits +
+  flits inside the link + flits buffered downstream + credits in flight
+  equals the provisioned buffer depth, every cycle;
+* **buffer occupancy** — no input VC ever holds more flits than its
+  provisioned depth;
+* **per-VC flit ordering** — each input VC receives a head flit, then
+  body flits, then the tail of the *same* packet (wormhole discipline
+  survives links, adapters and reorder buffers);
+* **packet conservation** — injected flits are always accounted for:
+  delivered + buffered + in flight, no loss, no duplication;
+* **no-progress watchdog** — flits buffered with no movement for longer
+  than a threshold is reported as a runtime deadlock.
+
+The checker instruments the same seams the tracing helpers use
+(wrapping ``network.inject``, ``router.receive_flit``, the stats sink and
+``network.step``); the hot path is untouched when no checker is attached.
+Tests enable it through the ``sanitize`` fixture in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.noc.flit import Flit, Packet
+from repro.noc.network import Network
+
+
+class InvariantViolation(AssertionError):
+    """A simulator invariant was broken at runtime."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class _VcOrderState:
+    """Head/body/tail discipline tracker for one input VC."""
+
+    __slots__ = ("pid", "remaining")
+
+    def __init__(self) -> None:
+        self.pid = -1
+        self.remaining = 0
+
+
+class InvariantChecker:
+    """Wires runtime invariant checks into a built network.
+
+    Parameters
+    ----------
+    network:
+        The built (finalized or about-to-be-finalized) network to guard.
+    deadlock_threshold:
+        Cycles without any flit movement (while flits are buffered) before
+        the watchdog fires.  ``None`` disables the watchdog.
+    check_every:
+        Run the full state sweep every N network steps (event-driven
+        checks — ordering, occupancy — always run).  1 checks every cycle.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        deadlock_threshold: Optional[int] = 5_000,
+        check_every: int = 1,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.network = network
+        self.deadlock_threshold = deadlock_threshold
+        self.check_every = check_every
+        self.checks_run = 0
+        self.flits_injected = 0
+        self._completed_flits = 0
+        self._live_packets: dict[int, Packet] = {}
+        self._order: dict[tuple[int, int, int], _VcOrderState] = {}
+        self._last_movement = 0
+        self._steps = 0
+        self._install()
+
+    # -- instrumentation -----------------------------------------------------
+    def _install(self) -> None:
+        network = self.network
+        original_inject = network.inject
+
+        def inject(packet: Packet) -> None:
+            self.flits_injected += packet.length
+            self._live_packets[packet.pid] = packet
+            original_inject(packet)
+
+        network.inject = inject  # type: ignore[method-assign]
+
+        stats = network.stats
+        original_delivered = stats.note_packet_delivered
+
+        def note_packet_delivered(packet: Packet, now: int) -> None:
+            live = self._live_packets.pop(packet.pid, None)
+            if live is not None:
+                self._completed_flits += packet.length
+            original_delivered(packet, now)
+
+        stats.note_packet_delivered = note_packet_delivered  # type: ignore[method-assign]
+
+        original_router_flit = stats.note_router_flit
+
+        def note_router_flit() -> None:
+            self._last_movement = self._now
+            original_router_flit()
+
+        stats.note_router_flit = note_router_flit  # type: ignore[method-assign]
+
+        for router in network.routers:
+            original_receive = router.receive_flit
+
+            def receive_flit(
+                port: int,
+                vc_idx: int,
+                flit: Flit,
+                now: int,
+                _node: int = router.node,
+                _orig=original_receive,
+            ) -> None:
+                self._check_order(_node, port, vc_idx, flit)
+                _orig(port, vc_idx, flit, now)
+                self._check_occupancy(_node, port, vc_idx)
+
+            router.receive_flit = receive_flit  # type: ignore[method-assign]
+
+        original_step = network.step
+
+        def step(now: int) -> None:
+            self._now = now
+            original_step(now)
+            self._steps += 1
+            if self._steps % self.check_every == 0:
+                self.check(now)
+
+        network.step = step  # type: ignore[method-assign]
+        self._now = 0
+
+    # -- event-driven checks -------------------------------------------------
+    def _check_order(self, node: int, port: int, vc_idx: int, flit: Flit) -> None:
+        state = self._order.setdefault((node, port, vc_idx), _VcOrderState())
+        if state.remaining == 0:
+            if not flit.is_head:
+                raise InvariantViolation(
+                    "VC-ORDER",
+                    f"node {node} port {port} vc {vc_idx}: expected a head "
+                    f"flit, received {flit!r}",
+                )
+            state.pid = flit.packet.pid
+            state.remaining = flit.packet.length
+        else:
+            if flit.is_head:
+                raise InvariantViolation(
+                    "VC-ORDER",
+                    f"node {node} port {port} vc {vc_idx}: head flit of packet "
+                    f"{flit.packet.pid} interleaved into packet {state.pid} "
+                    f"({state.remaining} flits outstanding)",
+                )
+            if flit.packet.pid != state.pid:
+                raise InvariantViolation(
+                    "VC-ORDER",
+                    f"node {node} port {port} vc {vc_idx}: flit of packet "
+                    f"{flit.packet.pid} interleaved into packet {state.pid}",
+                )
+        state.remaining -= 1
+        if flit.is_tail and state.remaining != 0:
+            raise InvariantViolation(
+                "VC-ORDER",
+                f"node {node} port {port} vc {vc_idx}: tail of packet "
+                f"{state.pid} arrived with {state.remaining} flits missing",
+            )
+
+    def _check_occupancy(self, node: int, port: int, vc_idx: int) -> None:
+        in_port = self.network.routers[node].inputs[port]
+        held = len(in_port.vcs[vc_idx].queue)
+        if held > in_port.buffer_depth:
+            raise InvariantViolation(
+                "BUF-OVERFLOW",
+                f"node {node} port {port} vc {vc_idx}: {held} flits buffered, "
+                f"depth {in_port.buffer_depth} (credit protocol broken)",
+            )
+
+    # -- state-sweep checks ----------------------------------------------------
+    def check(self, now: int) -> None:
+        """Run the full invariant sweep (called from the step hook)."""
+        self.checks_run += 1
+        self._check_credits()
+        self._check_conservation()
+        self._check_progress(now)
+
+    def _check_credits(self) -> None:
+        network = self.network
+        for link in network.links:
+            src_router = link.src_router
+            dst_router = link.dst_router
+            if src_router is None or dst_router is None:
+                continue
+            out = src_router.outputs[link.src_port]
+            in_port = dst_router.inputs[link.dst_port]
+            depth = in_port.buffer_depth
+            for vc in range(out.n_vcs):
+                credits = out.credits[vc]
+                buffered = len(in_port.vcs[vc].queue)
+                in_link = link.vc_flits(vc)
+                returning = link.pending_credits(vc)
+                total = credits + buffered + in_link + returning
+                if total != depth:
+                    raise InvariantViolation(
+                        "CREDIT-LEAK",
+                        f"link {link.index} vc {vc}: credits {credits} + "
+                        f"buffered {buffered} + in-link {in_link} + returning "
+                        f"{returning} = {total}, expected {depth} "
+                        f"({depth - total:+d} credit(s) lost)",
+                    )
+
+    def _check_conservation(self) -> None:
+        network = self.network
+        delivered = self._completed_flits + sum(
+            packet.flits_delivered for packet in self._live_packets.values()
+        )
+        in_network = network.buffered_flits() + network.in_flight_flits()
+        if delivered + in_network != self.flits_injected:
+            raise InvariantViolation(
+                "FLIT-CONSERVATION",
+                f"injected {self.flits_injected} flits but delivered "
+                f"{delivered} + in-network {in_network} = "
+                f"{delivered + in_network} "
+                f"({self.flits_injected - delivered - in_network:+d} flit(s) "
+                "unaccounted for)",
+            )
+
+    def _check_progress(self, now: int) -> None:
+        threshold = self.deadlock_threshold
+        if threshold is None:
+            return
+        if now - self._last_movement <= threshold:
+            return
+        buffered = self.network.buffered_flits()
+        if buffered > 0:
+            raise InvariantViolation(
+                "NO-PROGRESS",
+                f"{buffered} flits buffered with no movement for "
+                f"{now - self._last_movement} cycles (runtime deadlock)",
+            )
+        self._last_movement = now

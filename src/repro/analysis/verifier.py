@@ -1,0 +1,151 @@
+"""Verification pass orchestration and the `repro check` backend.
+
+Runs the three static passes over a built network and folds their output
+into one :class:`~repro.analysis.report.Report`:
+
+1. **lint** — topology/config well-formedness (:mod:`repro.analysis.lint`);
+2. **deadlock** — escape-subnetwork connectivity plus acyclicity of the
+   channel dependency graph, direct-only under ``vct`` or Duato's
+   extended graph under ``wormhole`` (:mod:`repro.analysis.cdg`);
+3. **livelock** — acyclicity of the routing state graph and the implied
+   worst-case hop / misroute bounds (:mod:`repro.analysis.livelock`).
+
+:func:`verify_family` is the convenience entry point used by the CLI and
+CI: it builds a representative small instance of a registered system
+family and verifies it.  Passing a different grid verifies any other
+instance; future topologies only need a ``SystemSpec`` to be checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.noc.network import Network
+from repro.routing.deadlock import escape_connectivity
+from repro.sim.build import build_network
+from repro.sim.config import SimConfig
+from repro.sim.stats import Stats
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import FAMILIES, SystemSpec, build_system
+from .cdg import MODES, build_cdg
+from .lint import lint_network, lint_spec
+from .livelock import analyse_livelock
+from .report import Report
+
+#: Default verification geometry: smallest grid valid for every family
+#: (hypercube families need a power-of-two chiplet count).
+DEFAULT_CHIPLETS = (2, 2)
+DEFAULT_NODES = (3, 3)
+
+
+def verify_network(
+    spec: SystemSpec, network: Network, *, mode: str = "vct"
+) -> Report:
+    """Run all static passes on a built network."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    report = Report(system=spec.name, mode=mode)
+
+    report.passes.append("lint")
+    lint_spec(spec, report)
+    lint_network(spec, network, report)
+
+    report.passes.append("deadlock")
+    _deadlock_pass(network, mode, report)
+
+    report.passes.append("livelock")
+    _livelock_pass(network, report)
+    return report
+
+
+def _deadlock_pass(network: Network, mode: str, report: Report) -> None:
+    unreachable = escape_connectivity(network)
+    if unreachable:
+        sample = ", ".join(f"{s}->{d}" for s, d in unreachable[:5])
+        report.error(
+            "ESC-UNREACHABLE",
+            f"{len(unreachable)} node pair(s)",
+            f"escape subnetwork is not connected (e.g. {sample}); "
+            "Lemma 1's connectivity condition fails",
+        )
+    graph = build_cdg(network, mode)
+    report.metrics["escape_channels"] = graph.n_channels
+    report.metrics["direct_deps"] = graph.n_direct
+    if mode == "wormhole":
+        report.metrics["indirect_deps"] = graph.n_indirect
+    cycle = graph.cycle()
+    if cycle:
+        shown = " -> ".join(f"(link {link}, vc {vc})" for link, vc in cycle[:8])
+        if mode == "wormhole" and graph.cycle_uses_indirect(cycle):
+            report.error(
+                "CDG-CYCLE-EXTENDED",
+                f"{len(cycle)}-channel cycle",
+                f"extended dependency cycle {shown}; the escape discipline is "
+                "deadlock-free only under virtual cut-through, not plain "
+                "wormhole (an indirect dependency through adaptive channels "
+                "closes the cycle)",
+            )
+        else:
+            report.error(
+                "CDG-CYCLE",
+                f"{len(cycle)}-channel cycle",
+                f"direct dependency cycle {shown}; Lemma 1's acyclicity "
+                "condition fails",
+            )
+
+
+def _livelock_pass(network: Network, report: Report) -> None:
+    analysis = analyse_livelock(network)
+    report.metrics["routing_states"] = analysis.n_states
+    if analysis.bounded:
+        report.metrics["max_hops_bound"] = analysis.max_hops
+        report.metrics["max_misroute"] = analysis.max_misroute
+    else:
+        shown = " -> ".join(
+            f"(node {node}, banned={banned})"
+            for node, banned, _choice in analysis.cycle[:8]
+        )
+        report.error(
+            "LIVELOCK-CYCLE",
+            f"dst {analysis.cycle_dst}",
+            f"routing state cycle {shown}; a packet can revisit a routing "
+            "state, so its hop count is unbounded",
+        )
+
+
+def verify_family(
+    family: str,
+    *,
+    chiplets: tuple[int, int] = DEFAULT_CHIPLETS,
+    nodes: tuple[int, int] = DEFAULT_NODES,
+    config: Optional[SimConfig] = None,
+    mode: str = "vct",
+    routing=None,
+) -> Report:
+    """Build a representative instance of ``family`` and verify it.
+
+    ``routing`` overrides the family's routing function (used by the
+    negative-path tests to inject known-bad routing).
+    """
+    if family not in FAMILIES:
+        raise ValueError(f"unknown system family {family!r}")
+    config = config or SimConfig()
+    grid = ChipletGrid(chiplets[0], chiplets[1], nodes[0], nodes[1])
+    spec = build_system(family, grid, config)
+    stats = Stats()
+    network = build_network(spec, stats, routing=routing)
+    return verify_network(spec, network, mode=mode)
+
+
+def verify_all(
+    *,
+    chiplets: tuple[int, int] = DEFAULT_CHIPLETS,
+    nodes: tuple[int, int] = DEFAULT_NODES,
+    config: Optional[SimConfig] = None,
+    mode: str = "vct",
+) -> list[Report]:
+    """Verify every registered system family (the `repro check --all` path)."""
+    return [
+        verify_family(family, chiplets=chiplets, nodes=nodes, config=config, mode=mode)
+        for family in FAMILIES
+    ]

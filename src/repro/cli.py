@@ -7,8 +7,13 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro run all --scale small        # regenerate everything
     repro simulate --family hetero_phy_torus --chiplets 4x4 --nodes 4x4 \
                    --pattern uniform --rate 0.1
+    repro check --all                  # statically verify every family
+    repro check --family serial_torus --mode wormhole
 
 Output is the plain-text table of the experiment (add ``--csv`` for CSV).
+``repro check`` prints one findings report per verified system and exits
+non-zero if any report contains an error — the CI deadlock/livelock/lint
+gate (see docs/analysis.md).
 """
 
 from __future__ import annotations
@@ -88,6 +93,33 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis import verify_family
+
+    chiplets = _parse_pair(args.chiplets, "--chiplets")
+    nodes = _parse_pair(args.nodes, "--nodes")
+    families = list(FAMILIES) if args.all else [args.family]
+    failed = 0
+    for family in families:
+        try:
+            report = verify_family(
+                family, chiplets=chiplets, nodes=nodes, mode=args.mode
+            )
+        except ValueError as exc:
+            # e.g. a geometry the family cannot be built on; report and
+            # keep sweeping the remaining families.
+            print(f"== {family} ==\n  ERROR   BUILD-FAILED {exc}\n  FAIL: could not build")
+            failed += 1
+            continue
+        print(report.render(verbose=args.verbose))
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"\n{failed}/{len(families)} system(s) FAILED verification")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -134,6 +166,29 @@ def main(argv: list[str] | None = None) -> int:
         "--halved", action="store_true", help="pin-constrained halved interfaces"
     )
     sim_p.set_defaults(func=_cmd_simulate)
+
+    check_p = sub.add_parser(
+        "check",
+        help="statically verify system families (deadlock / livelock / lint)",
+    )
+    check_group = check_p.add_mutually_exclusive_group(required=True)
+    check_group.add_argument("--family", choices=FAMILIES)
+    check_group.add_argument(
+        "--all", action="store_true", help="verify every registered family"
+    )
+    check_p.add_argument(
+        "--mode",
+        choices=("vct", "wormhole"),
+        default="vct",
+        help="flow-control assumption for the CDG analysis (default: vct, "
+        "the discipline the routers actually enforce)",
+    )
+    check_p.add_argument("--chiplets", default="2x2", help="chiplet grid, e.g. 2x2")
+    check_p.add_argument("--nodes", default="3x3", help="per-chiplet mesh, e.g. 3x3")
+    check_p.add_argument(
+        "--verbose", action="store_true", help="include INFO findings in reports"
+    )
+    check_p.set_defaults(func=_cmd_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

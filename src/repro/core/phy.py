@@ -192,6 +192,15 @@ class HeteroPhyLink(Link):
         """(parallel, serial) flit counts transmitted so far."""
         return self.flits_parallel, self.flits_serial
 
+    def vc_flits(self, vc: int) -> int:
+        return (
+            sum(1 for _f, q_vc in self._txq if q_vc == vc)
+            + sum(1 for _f, q_vc in self._bypassq if q_vc == vc)
+            + sum(1 for _d, _f, p_vc in self._par_pipe if p_vc == vc)
+            + sum(1 for _d, _f, p_vc in self._ser_pipe if p_vc == vc)
+            + self.rob.occupancy_of(vc)
+        )
+
 
 def hetero_phy_link_factory(
     policy_factory: Callable[[], DispatchPolicy],

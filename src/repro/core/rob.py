@@ -53,6 +53,10 @@ class ReorderBuffer:
     def occupancy(self) -> int:
         return len(self._waiting)
 
+    def occupancy_of(self, vc: int) -> int:
+        """Waiting flits belonging to one virtual channel."""
+        return sum(1 for waiting_vc, _sn in self._waiting if waiting_vc == vc)
+
     def insert(self, flit: Flit, vc: int) -> None:
         if flit.sn is None:
             raise ValueError("flit has no sequence number")

@@ -42,6 +42,7 @@ class Link:
         self.src_port: int = -1
         self.dst_router: Optional["Router"] = None
         self.dst_port: int = -1
+        self._index = -1
         self._credit_queue: deque[tuple[int, int]] = deque()
         self._accept_cycle = -1
         self._accepted = 0
@@ -67,6 +68,11 @@ class Link:
         self.src_port = src_port
         self.dst_router = dst_router
         self.dst_port = dst_port
+
+    @property
+    def index(self) -> int:
+        """Position of this link in its network's ``links`` list (-1 if unattached)."""
+        return self._index
 
     # -- transmit side ----------------------------------------------------
     def accept_budget(self, now: int) -> int:
@@ -106,6 +112,15 @@ class Link:
         while queue and queue[0][0] <= now:
             _, vc = queue.popleft()
             self.src_router.credit_arrive(self.src_port, vc)
+
+    # -- introspection (used by the invariant sanitizer) -------------------
+    def pending_credits(self, vc: int) -> int:
+        """Credits for ``vc`` scheduled but not yet delivered upstream."""
+        return sum(1 for _, credit_vc in self._credit_queue if credit_vc == vc)
+
+    def vc_flits(self, vc: int) -> int:
+        """Flits of ``vc`` currently inside the link (pipelines, adapters)."""
+        raise NotImplementedError
 
     # -- accounting -------------------------------------------------------
     def _account(self, flit: Flit, energy_pj: float) -> None:
@@ -166,3 +181,6 @@ class PipelinedLink(Link):
     def occupancy(self) -> int:
         """Flits currently in flight on the link."""
         return len(self._pipe)
+
+    def vc_flits(self, vc: int) -> int:
+        return sum(1 for _, _, pipe_vc in self._pipe if pipe_vc == vc)

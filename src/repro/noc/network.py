@@ -94,7 +94,7 @@ class Network:
             raise RuntimeError("cannot add channels after finalize()")
         factory = link_factory or default_link_factory
         link = factory(spec)
-        link._link_index = len(self.links)  # type: ignore[attr-defined]
+        link._index = len(self.links)
         depth = spec.buffer_depth
         if spec.is_interface:
             depth += spec.total_bandwidth * (spec.max_delay + link.credit_delay)
@@ -128,7 +128,7 @@ class Network:
             self._router_work.append(node)
 
     def activate_link(self, link: Link) -> None:
-        idx = link._link_index  # type: ignore[attr-defined]
+        idx = link.index
         if not self._link_active[idx]:
             self._link_active[idx] = True
             self._link_work.append(idx)

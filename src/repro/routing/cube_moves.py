@@ -60,7 +60,7 @@ class CubeHostIndex:
         self.n_dims = spec.n_cube_dims
         self._hosts = spec.cube_hosts
         self._hosted: dict[int, tuple[int, ...]] = {}
-        for chiplet, by_dim in spec.cube_hosts.items():
+        for by_dim in spec.cube_hosts.values():
             for dim, nodes in by_dim.items():
                 for node in nodes:
                     dims = self._hosted.get(node, ())

@@ -60,7 +60,7 @@ def _escape_successors(network: Network, node: int, dst: int) -> list[EscapeChan
         link = router.outputs[port].link
         if link is None:  # ejection
             continue
-        result.append((link._link_index, vc))  # type: ignore[attr-defined]
+        result.append((link.index, vc))
     return result
 
 

@@ -49,7 +49,7 @@ class FaultTolerantRouting:
         filtered = []
         for cand in candidates:
             link = outputs[cand[0]].link
-            if link is None or link._link_index not in self.failed:  # type: ignore[attr-defined]
+            if link is None or link.index not in self.failed:
                 filtered.append(cand)
         if not filtered:
             raise UnroutableError(

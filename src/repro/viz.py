@@ -31,10 +31,7 @@ def render_topology(spec: SystemSpec) -> str:
              f"{grid.nodes_x}x{grid.nodes_y} nodes ({grid.n_nodes} nodes)"]
     cell = f"[{grid.nodes_x}x{grid.nodes_y}]"
     for cy in range(grid.chiplets_y - 1, -1, -1):
-        row = []
-        for cx in range(grid.chiplets_x):
-            row.append(cell)
-        lines.append(" -- ".join(row))
+        lines.append(" -- ".join([cell] * grid.chiplets_x))
         if cy:
             lines.append(("  |" + " " * (len(cell) + 1)) * grid.chiplets_x)
     counts = spec.channels_by_kind()

@@ -42,3 +42,30 @@ def make_network(family: str, grid: ChipletGrid, config: SimConfig, **kwargs):
 def family(request) -> str:
     """Parametrized over all five system families."""
     return request.param
+
+
+@pytest.fixture
+def sanitize():
+    """Opt-in runtime sanitizer: attach an InvariantChecker to a network.
+
+    Usage::
+
+        checker = sanitize(network)           # before injecting traffic
+        engine.run(...)                       # violations raise immediately
+
+    On teardown the fixture asserts that every attached checker actually
+    swept the network at least once, so a mis-wired test cannot pass
+    vacuously.
+    """
+    from repro.analysis import InvariantChecker
+
+    checkers = []
+
+    def _attach(network, **kwargs):
+        checker = InvariantChecker(network, **kwargs)
+        checkers.append(checker)
+        return checker
+
+    yield _attach
+    for checker in checkers:
+        assert checker.checks_run > 0, "sanitized network was never stepped"

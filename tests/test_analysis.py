@@ -1,0 +1,276 @@
+"""Static verification: CDG modes, livelock bounds, linter, reports.
+
+The positive direction — every registered family verifies cleanly under
+virtual cut-through — is the same property ``repro check --all`` gates in
+CI.  The negative direction injects known-bad configurations (cyclic
+escape routing, ping-pong adaptive routing, undersized reorder buffers,
+malformed candidates) and requires the analyses to flag each one.
+"""
+
+import pytest
+
+from repro.analysis import (
+    MODES,
+    Report,
+    Severity,
+    analyse_livelock,
+    build_cdg,
+    lint_spec,
+    split_candidates,
+    verify_all,
+    verify_family,
+    verify_network,
+)
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.sim.config import SimConfig
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import FAMILIES
+
+from .conftest import make_network
+
+
+# -- positive: every family is clean under the VCT discipline ----------------
+
+
+def test_family_verifies_clean_vct(family):
+    report = verify_family(family)
+    assert report.ok, report.render(verbose=True)
+    assert report.passes == ["lint", "deadlock", "livelock"]
+    assert report.metrics["escape_channels"] > 0
+    assert report.metrics["direct_deps"] > 0
+    assert report.metrics["max_hops_bound"] > 0
+    assert report.metrics["max_misroute"] >= 0
+
+
+def test_verify_all_covers_every_family():
+    reports = verify_all()
+    assert [r.system for r in reports] == [
+        verify_family(f).system for f in FAMILIES
+    ]
+    assert all(r.ok for r in reports)
+
+
+def test_verify_family_rejects_unknown_family_and_mode():
+    with pytest.raises(ValueError):
+        verify_family("ring_of_rings")
+    with pytest.raises(ValueError):
+        verify_family("parallel_mesh", mode="store_and_forward")
+
+
+# -- CDG: direct vs. extended dependencies ------------------------------------
+
+
+def test_cdg_modes_constant():
+    assert MODES == ("vct", "wormhole")
+
+
+def test_split_candidates_returns_both_classes():
+    config = SimConfig()
+    _, network, _ = make_network("serial_torus", ChipletGrid(2, 2, 3, 3), config)
+    escape, adaptive = split_candidates(network, 0, network.n_nodes - 1)
+    assert escape, "adaptive families always offer an escape candidate"
+    assert adaptive, "corner-to-corner traffic should see adaptive choices"
+    assert all(isinstance(link, int) and isinstance(vc, int) for link, vc in escape)
+
+
+def test_wormhole_mode_adds_indirect_dependencies():
+    config = SimConfig()
+    _, network, _ = make_network("serial_torus", ChipletGrid(2, 2, 3, 3), config)
+    direct = build_cdg(network, "vct")
+    extended = build_cdg(network, "wormhole")
+    assert direct.n_indirect == 0
+    assert extended.n_indirect > 0
+    assert extended.n_direct == direct.n_direct
+    assert extended.n_channels == direct.n_channels
+
+
+def test_adaptive_family_has_extended_cycle_under_wormhole():
+    """The paper's escape argument needs VCT: under plain wormhole the
+    negative-first escape + minimal adaptive routing acquires an indirect
+    dependency cycle (docs/routing.md), which the extended CDG exposes."""
+    report = verify_family("serial_torus", mode="wormhole")
+    assert not report.ok
+    assert "CDG-CYCLE-EXTENDED" in report.codes()
+    assert report.metrics["indirect_deps"] > 0
+
+
+def test_hypercube_family_is_wormhole_clean():
+    """Minus-first hypercube routing restricts adaptivity enough that even
+    the extended dependency graph stays acyclic."""
+    report = verify_family("serial_hypercube", mode="wormhole")
+    assert report.ok, report.render(verbose=True)
+
+
+def test_deterministic_xy_is_wormhole_clean():
+    """Escape-only XY routing has no adaptive channels, hence no indirect
+    dependencies: it must verify even under the wormhole assumption."""
+    config = SimConfig()
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 2, 3, 3), config
+    )
+    network.set_routing(DimensionOrderRouting(spec))
+    report = verify_network(spec, network, mode="wormhole")
+    assert report.ok, report.render(verbose=True)
+    assert report.metrics["indirect_deps"] == 0
+
+
+def test_build_cdg_rejects_unknown_mode():
+    config = SimConfig()
+    _, network, _ = make_network("parallel_mesh", ChipletGrid(2, 1, 2, 2), config)
+    with pytest.raises(ValueError):
+        build_cdg(network, "cut_through")
+
+
+# -- negative: deliberately broken routing must be flagged --------------------
+
+
+def _ring_routing(router, packet):
+    """Textbook-deadlocking eastward ring routing on a torus row."""
+    if packet.dst == router.node:
+        return [(0, 0, True)]
+    by_tag = router.out_port_by_tag
+    port = by_tag.get(("mesh", "E"), by_tag.get(("wrap", "E")))
+    if port is None:
+        port = by_tag.get(("mesh", "N"), by_tag.get(("mesh", "S")))
+    return [(port, 0, True)]
+
+
+def test_cyclic_escape_routing_is_flagged():
+    config = SimConfig()
+    spec, network, _ = make_network("serial_torus", ChipletGrid(2, 1, 2, 2), config)
+    network.set_routing(_ring_routing)
+    report = verify_network(spec, network)
+    assert not report.ok
+    assert "CDG-CYCLE" in report.codes()
+
+
+def test_pingpong_adaptive_routing_is_flagged_as_livelock():
+    config = SimConfig()
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), config
+    )
+    grid = spec.grid
+
+    def pingpong(router, packet):
+        # Adaptive (non-escape) east/west shuttling: never banned, never
+        # progressing -- the routing state graph must contain a cycle.
+        if packet.dst == router.node:
+            return [(0, 0, True)]
+        by_tag = router.out_port_by_tag
+        x, _y = grid.coords(router.node)
+        direction = "E" if x % 2 == 0 else "W"
+        port = by_tag.get(("mesh", direction))
+        if port is None:
+            port = next(iter(by_tag.values()))
+        return [(port, 0, False)]
+
+    network.set_routing(pingpong)
+    analysis = analyse_livelock(network)
+    assert not analysis.bounded
+    assert analysis.cycle
+    report = verify_network(spec, network)
+    assert "LIVELOCK-CYCLE" in report.codes()
+    assert not report.ok
+
+
+def test_livelock_bound_matches_minimal_routing():
+    """Fully minimal families (mesh) never misroute: bound == shortest."""
+    report = verify_family("parallel_mesh")
+    assert report.metrics["max_misroute"] == 0
+
+
+def test_misrouting_family_reports_positive_slack():
+    """Torus chiplet-first routing detours around wraps: slack > 0."""
+    report = verify_family("serial_torus")
+    assert report.metrics["max_misroute"] > 0
+
+
+# -- linter -------------------------------------------------------------------
+
+
+def test_lint_flags_undersized_rob():
+    report = verify_family("hetero_phy_torus", config=SimConfig(rob_capacity=1))
+    assert not report.ok
+    assert "ROB-UNDERSIZED" in report.codes()
+
+
+def test_lint_flags_sub_packet_buffers():
+    from repro.topology.system import build_system
+
+    config = SimConfig()
+    bad = config.replace(onchip_buffer=8)  # < 16-flit packets
+    spec = build_system("parallel_mesh", ChipletGrid(2, 1, 2, 2), bad)
+    report = Report(system=spec.name)
+    lint_spec(spec, report)
+    assert "VCT-BUFFER" in report.codes()
+    assert not report.ok
+
+
+def test_lint_flags_malformed_candidates():
+    config = SimConfig()
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), config
+    )
+
+    def bad_vc_routing(router, packet):
+        if packet.dst == router.node:
+            return [(0, 0, True)]
+        port = next(iter(router.out_port_by_tag.values()))
+        return [(port, 99, True)]  # VC 99 does not exist
+
+    network.set_routing(bad_vc_routing)
+    report = Report(system=spec.name)
+    from repro.analysis import lint_network
+
+    lint_network(spec, network, report)
+    assert "CAND-VC" in report.codes()
+
+
+def test_lint_flags_empty_and_raising_routing():
+    config = SimConfig()
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), config
+    )
+    network.set_routing(lambda router, packet: [])
+    report = Report(system=spec.name)
+    from repro.analysis import lint_network
+
+    lint_network(spec, network, report)
+    assert "ROUTE-EMPTY" in report.codes()
+
+    def raising(router, packet):
+        raise KeyError("no route")
+
+    network.set_routing(raising)
+    report = Report(system=spec.name)
+    lint_network(spec, network, report)
+    assert "ROUTE-RAISES" in report.codes()
+
+
+# -- report plumbing ----------------------------------------------------------
+
+
+def test_report_ok_gates_on_errors_only():
+    report = Report(system="unit")
+    assert report.ok
+    report.info("NOTE", "x", "just a note")
+    report.warning("WARN", "y", "a warning")
+    assert report.ok
+    report.error("BOOM", "z", "an error")
+    assert not report.ok
+    assert report.codes() == {"NOTE", "WARN", "BOOM"}
+    assert [f.severity for f in report.findings] == [
+        Severity.INFO,
+        Severity.WARNING,
+        Severity.ERROR,
+    ]
+
+
+def test_report_render_shows_verdict_and_metrics():
+    report = Report(system="unit", mode="wormhole")
+    report.metrics["escape_channels"] = 12
+    text = report.render()
+    assert "PASS" in text and "unit" in text and "wormhole" in text
+    assert "escape_channels=12" in text
+    report.error("BOOM", "z", "an error")
+    assert "FAIL" in report.render()

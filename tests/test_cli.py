@@ -56,3 +56,57 @@ def test_simulate_smoke(capsys):
 def test_simulate_bad_geometry():
     with pytest.raises(SystemExit):
         main(["simulate", "--chiplets", "four-by-four"])
+
+
+def test_check_single_family_passes(capsys):
+    assert main(["check", "--family", "parallel_mesh"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "parallel-mesh-2x2(3x3)" in out
+
+
+def test_check_all_families_pass(capsys):
+    assert main(["check", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("PASS") == 5
+    assert "FAIL" not in out
+
+
+def test_check_wormhole_mode_flags_adaptive_family(capsys):
+    assert main(["check", "--family", "serial_torus", "--mode", "wormhole"]) == 1
+    out = capsys.readouterr().out
+    assert "CDG-CYCLE-EXTENDED" in out
+    assert "FAILED verification" in out
+
+
+def test_check_wormhole_mode_passes_hypercube(capsys):
+    assert main(["check", "--family", "serial_hypercube", "--mode", "wormhole"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_check_exits_nonzero_on_injected_cycle(capsys, monkeypatch):
+    """Replace the routing factory with a deadlocking ring: the genuine
+    `repro check` path must report the cycle and exit 1."""
+
+    def ring_factory(spec, **_kwargs):
+        def ring_routing(router, packet):
+            if packet.dst == router.node:
+                return [(0, 0, True)]
+            by_tag = router.out_port_by_tag
+            port = by_tag.get(("mesh", "E"), by_tag.get(("wrap", "E")))
+            if port is None:
+                port = by_tag.get(("mesh", "N"), by_tag.get(("mesh", "S")))
+            return [(port, 0, True)]
+
+        return ring_routing
+
+    monkeypatch.setattr("repro.sim.build.make_routing", ring_factory)
+    assert main(["check", "--family", "serial_torus"]) == 1
+    out = capsys.readouterr().out
+    assert "CDG-CYCLE" in out
+    assert "FAIL" in out
+
+
+def test_check_requires_family_or_all():
+    with pytest.raises(SystemExit):
+        main(["check"])

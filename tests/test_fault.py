@@ -121,4 +121,4 @@ def test_fault_wrapper_filters_only_failed():
     assert set(after) <= set(before)
     for cand in after:
         link = router.outputs[cand[0]].link
-        assert link is None or link._link_index not in set(safe)
+        assert link is None or link.index not in set(safe)
