@@ -48,6 +48,14 @@ from .sim.experiment import (
     saturation_rate,
 )
 from .sim.stats import DeadlockError, Stats
+from .telemetry import (
+    ChromeTraceBuilder,
+    EpochMetrics,
+    ProgressReporter,
+    TelemetryBus,
+    TelemetryConfig,
+    TelemetrySession,
+)
 from .topology.grid import ChipletGrid
 from .topology.multipackage import build_hetero_channel_packages
 from .topology.system import FAMILIES, SystemSpec, build_system
@@ -72,10 +80,12 @@ __all__ = [
     "ChannelKind",
     "ChannelSpec",
     "ChipletGrid",
+    "ChromeTraceBuilder",
     "DEFAULT_CONFIG",
     "DeadlockError",
     "EnergyEfficientPolicy",
     "Engine",
+    "EpochMetrics",
     "FAMILIES",
     "FLIT_BITS",
     "Flit",
@@ -89,6 +99,7 @@ __all__ = [
     "Packet",
     "PerformanceFirstPolicy",
     "PhyParams",
+    "ProgressReporter",
     "ReorderBuffer",
     "RequestReplyWorkload",
     "Router",
@@ -98,6 +109,9 @@ __all__ = [
     "SweepPoint",
     "SyntheticWorkload",
     "SystemSpec",
+    "TelemetryBus",
+    "TelemetryConfig",
+    "TelemetrySession",
     "Trace",
     "TraceRecord",
     "TraceWorkload",

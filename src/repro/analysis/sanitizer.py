@@ -18,18 +18,22 @@ turning silent state corruption into an immediate
 * **no-progress watchdog** — flits buffered with no movement for longer
   than a threshold is reported as a runtime deadlock.
 
-The checker instruments the same seams the tracing helpers use
-(wrapping ``network.inject``, ``router.receive_flit``, the stats sink and
-``network.step``); the hot path is untouched when no checker is attached.
-Tests enable it through the ``sanitize`` fixture in ``tests/conftest.py``.
+The checker subscribes to the network's telemetry bus (``packet_inject``,
+``flit_recv``, ``flit_send``, ``packet_eject``, ``cycle_end``) — the same
+seam the tracing and metric collectors use — so probes compose and the
+hot path is untouched when no checker is attached.  Tests enable it
+through the ``sanitize`` fixture in ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.noc.flit import Flit, Packet
 from repro.noc.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.noc.router import Router
 
 
 class InvariantViolation(AssertionError):
@@ -84,67 +88,56 @@ class InvariantChecker:
         self._order: dict[tuple[int, int, int], _VcOrderState] = {}
         self._last_movement = 0
         self._steps = 0
+        self._attached = False
         self._install()
 
     # -- instrumentation -----------------------------------------------------
     def _install(self) -> None:
-        network = self.network
-        original_inject = network.inject
+        bus = self.network.telemetry
+        bus.subscribe("packet_inject", self._on_inject)
+        bus.subscribe("packet_eject", self._on_eject)
+        bus.subscribe("flit_send", self._on_flit_send)
+        bus.subscribe("flit_recv", self._on_flit_recv)
+        bus.subscribe("cycle_end", self._on_cycle_end)
+        self._attached = True
 
-        def inject(packet: Packet) -> None:
-            self.flits_injected += packet.length
-            self._live_packets[packet.pid] = packet
-            original_inject(packet)
+    def detach(self) -> None:
+        """Unsubscribe every check; the network reverts to full speed."""
+        if not self._attached:
+            return
+        bus = self.network.telemetry
+        bus.unsubscribe("packet_inject", self._on_inject)
+        bus.unsubscribe("packet_eject", self._on_eject)
+        bus.unsubscribe("flit_send", self._on_flit_send)
+        bus.unsubscribe("flit_recv", self._on_flit_recv)
+        bus.unsubscribe("cycle_end", self._on_cycle_end)
+        self._attached = False
 
-        network.inject = inject  # type: ignore[method-assign]
+    # -- bus callbacks -------------------------------------------------------
+    def _on_inject(self, network: Network, packet: Packet) -> None:
+        self.flits_injected += packet.length
+        self._live_packets[packet.pid] = packet
 
-        stats = network.stats
-        original_delivered = stats.note_packet_delivered
+    def _on_eject(self, router: "Router", packet: Packet, now: int) -> None:
+        live = self._live_packets.pop(packet.pid, None)
+        if live is not None:
+            self._completed_flits += packet.length
 
-        def note_packet_delivered(packet: Packet, now: int) -> None:
-            live = self._live_packets.pop(packet.pid, None)
-            if live is not None:
-                self._completed_flits += packet.length
-            original_delivered(packet, now)
+    def _on_flit_send(
+        self, router: "Router", flit: Flit, out_port: int, out_vc: int, now: int
+    ) -> None:
+        self._last_movement = now
 
-        stats.note_packet_delivered = note_packet_delivered  # type: ignore[method-assign]
+    def _on_flit_recv(
+        self, router: "Router", port: int, vc_idx: int, flit: Flit, now: int
+    ) -> None:
+        self._check_order(router.node, port, vc_idx, flit)
+        self._check_occupancy(router.node, port, vc_idx)
 
-        original_router_flit = stats.note_router_flit
-
-        def note_router_flit() -> None:
-            self._last_movement = self._now
-            original_router_flit()
-
-        stats.note_router_flit = note_router_flit  # type: ignore[method-assign]
-
-        for router in network.routers:
-            original_receive = router.receive_flit
-
-            def receive_flit(
-                port: int,
-                vc_idx: int,
-                flit: Flit,
-                now: int,
-                _node: int = router.node,
-                _orig=original_receive,
-            ) -> None:
-                self._check_order(_node, port, vc_idx, flit)
-                _orig(port, vc_idx, flit, now)
-                self._check_occupancy(_node, port, vc_idx)
-
-            router.receive_flit = receive_flit  # type: ignore[method-assign]
-
-        original_step = network.step
-
-        def step(now: int) -> None:
-            self._now = now
-            original_step(now)
-            self._steps += 1
-            if self._steps % self.check_every == 0:
-                self.check(now)
-
-        network.step = step  # type: ignore[method-assign]
-        self._now = 0
+    def _on_cycle_end(self, network: Network, now: int) -> None:
+        self._steps += 1
+        if self._steps % self.check_every == 0:
+            self.check(now)
 
     # -- event-driven checks -------------------------------------------------
     def _check_order(self, node: int, port: int, vc_idx: int, flit: Flit) -> None:

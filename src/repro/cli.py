@@ -6,7 +6,8 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro run fig11 --scale tiny       # regenerate one figure's data
     repro run all --scale small        # regenerate everything
     repro simulate --family hetero_phy_torus --chiplets 4x4 --nodes 4x4 \
-                   --pattern uniform --rate 0.1
+                   --pattern uniform --rate 0.1 --seed 7
+    repro simulate --metrics out/ --trace run.json --epoch 500 --profile
     repro check --all                  # statically verify every family
     repro check --family serial_torus --mode wormhole
 
@@ -81,15 +82,43 @@ def _cmd_simulate(args) -> int:
     if args.halved:
         config = config.halved()
     spec = build_system(args.family, grid, config)
-    result = run_synthetic(spec, args.pattern, args.rate, policy=args.policy)
+    telemetry = None
+    if args.metrics or args.trace or args.profile or args.progress:
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            metrics_dir=args.metrics,
+            trace_path=args.trace,
+            epoch_length=args.epoch,
+            progress=args.progress,
+            profile=args.profile,
+        )
+    result = run_synthetic(
+        spec,
+        args.pattern,
+        args.rate,
+        policy=args.policy,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
     print(f"system   : {spec.name}")
     print(f"workload : {result.workload} ({grid.n_nodes} nodes, {args.cycles} cycles)")
     print(f"policy   : {result.policy}")
+    print(f"seed     : {args.seed}")
     for key, value in result.stats.summary().items():
-        print(f"{key:26s}: {value:.3f}")
+        if isinstance(value, int):
+            print(f"{key:26s}: {value:d}")
+        else:
+            print(f"{key:26s}: {value:.3f}")
     par, ser = result.phy_split
     if par or ser:
         print(f"hetero-PHY flit split     : parallel {par}, serial {ser}")
+    if result.telemetry is not None:
+        for path in result.telemetry.written:
+            print(f"wrote {path}")
+        if result.telemetry.profile_text:
+            print()
+            print(result.telemetry.profile_text.rstrip())
     return 0
 
 
@@ -164,6 +193,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     sim_p.add_argument(
         "--halved", action="store_true", help="pin-constrained halved interfaces"
+    )
+    sim_p.add_argument(
+        "--seed", type=int, default=1, help="workload RNG seed (default: 1)"
+    )
+    sim_p.add_argument(
+        "--metrics",
+        metavar="DIR",
+        default=None,
+        help="write per-epoch metric CSVs + metrics.json into DIR",
+    )
+    sim_p.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON (load in Perfetto / about:tracing)",
+    )
+    sim_p.add_argument(
+        "--epoch",
+        type=int,
+        default=1_000,
+        help="epoch length in cycles for --metrics time series (default: 1000)",
+    )
+    sim_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run with cProfile and print the hottest functions",
+    )
+    sim_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live progress line on stderr while simulating",
     )
     sim_p.set_defaults(func=_cmd_simulate)
 

@@ -81,6 +81,8 @@ class HeteroPhyLink(Link):
 
     def accept(self, flit: Flit, vc: int, now: int) -> None:
         self._note_accept(now)
+        if self._telemetry.link_accept is not None:
+            self._telemetry.link_accept(self, flit, vc, now)
         if flit.is_head:
             self._decide_bypass(flit, vc)
         if vc in self._bypass_vcs:
@@ -148,6 +150,8 @@ class HeteroPhyLink(Link):
         sn = self._next_sn.get(vc, 0)
         self._next_sn[vc] = sn + 1
         flit.sn = sn
+        if self._telemetry.phy_dispatch is not None:
+            self._telemetry.phy_dispatch(self, flit, vc, phy, now)
         if phy == PARALLEL:
             self._account(flit, self._par_energy_per_flit)
             self._par_pipe.append((now + self.parallel.delay, flit, vc))
@@ -160,10 +164,13 @@ class HeteroPhyLink(Link):
     # -- receive side --------------------------------------------------------------
     def _receive(self, now: int) -> None:
         rob = self.rob
+        rob_insert = self._telemetry.rob_insert
         for pipe in (self._par_pipe, self._ser_pipe):
             while pipe and pipe[0][0] <= now:
                 _, flit, vc = pipe.popleft()
                 rob.insert(flit, vc)
+                if rob_insert is not None:
+                    rob_insert(self, flit, vc, now)
         if rob.occupancy == 0:
             return
         # The RX forwards every releasable flit in the cycle it becomes
@@ -171,8 +178,11 @@ class HeteroPhyLink(Link):
         # sink the full interface width (Sec 4.1), and credits guarantee
         # downstream space.  Unbounded draining keeps Eq (1) an exact
         # occupancy bound (see tests/test_phy_link.py).
+        rob_release = self._telemetry.rob_release
         for flit, vc in rob.release(None):
             flit.sn = None
+            if rob_release is not None:
+                rob_release(self, flit, vc, now)
             self.dst_router.receive_flit(self.dst_port, vc, flit, now)
 
     # -- introspection ----------------------------------------------------------------

@@ -48,10 +48,21 @@ class ReorderBuffer:
         self._waiting: dict[tuple[int, int], Flit] = {}
         self._expected: dict[int, int] = {}
         self.max_occupancy = 0
+        self._window_peak = 0
 
     @property
     def occupancy(self) -> int:
         return len(self._waiting)
+
+    def take_window_peak(self) -> int:
+        """Peak post-release occupancy since the last call, then reset.
+
+        Telemetry epoch collectors call this once per epoch to report the
+        per-epoch ROB high-water mark without sampling every cycle.
+        """
+        peak = max(self._window_peak, len(self._waiting))
+        self._window_peak = 0
+        return peak
 
     def occupancy_of(self, vc: int) -> int:
         """Waiting flits belonging to one virtual channel."""
@@ -89,6 +100,8 @@ class ReorderBuffer:
             # flits that must actually *wait* across cycles, which is what
             # Eq (1) bounds.
             self.max_occupancy = len(waiting)
+        if len(waiting) > self._window_peak:
+            self._window_peak = len(waiting)
         if len(waiting) > self.capacity:
             raise RobOverflowError(
                 f"reorder buffer holds {len(waiting)} flits, "

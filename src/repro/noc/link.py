@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+from repro.telemetry.bus import NULL_BUS, TelemetryBus
+
 from .channel import KIND_IDS, ChannelKind, ChannelSpec
 from .flit import FLIT_BITS, Flit
 
@@ -52,6 +54,8 @@ class Link:
         self._kind_id = KIND_IDS[spec.kind]
         self._is_interface = spec.is_interface
         self._credit_delay = max(1, spec.min_delay)
+        # Rebound to the network's bus at attach(); inert until then.
+        self._telemetry: TelemetryBus = NULL_BUS
 
     # -- wiring -----------------------------------------------------------
     def attach(
@@ -68,6 +72,7 @@ class Link:
         self.src_port = src_port
         self.dst_router = dst_router
         self.dst_port = dst_port
+        self._telemetry = network.telemetry
 
     @property
     def index(self) -> int:
@@ -100,6 +105,8 @@ class Link:
     def return_credit(self, vc: int, now: int) -> None:
         """Schedule a credit back to the transmitter for buffer slot ``vc``."""
         self._credit_queue.append((now + self._credit_delay, vc))
+        if self._telemetry.credit_return is not None:
+            self._telemetry.credit_return(self, vc, now)
         self.network.activate_link(self)
 
     @property
@@ -167,6 +174,8 @@ class PipelinedLink(Link):
         self._note_accept(now)
         self._account(flit, self._energy_per_flit)
         self._pipe.append((now + self._delay, flit, vc))
+        if self._telemetry.link_accept is not None:
+            self._telemetry.link_accept(self, flit, vc, now)
         self.network.activate_link(self)
 
     def step(self, now: int) -> bool:

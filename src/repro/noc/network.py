@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Protocol
 
+from repro.telemetry.bus import TelemetryBus
+
 from .channel import ChannelKind, ChannelSpec
 from .flit import Packet
 from .link import Link, PipelinedLink
@@ -57,6 +59,8 @@ class Network:
         if n_nodes < 1:
             raise ValueError("network needs at least one node")
         self.stats = stats
+        #: Instrumentation seam: probes subscribe here (see repro.telemetry).
+        self.telemetry = TelemetryBus()
         self.routers = [
             Router(
                 node,
@@ -154,9 +158,13 @@ class Network:
                 self._router_work.append(node)
             else:
                 self._router_active[node] = False
+        if self.telemetry.cycle_end is not None:
+            self.telemetry.cycle_end(self, now)
 
     def inject(self, packet: Packet) -> None:
         """Hand a freshly generated packet to its source router."""
+        if self.telemetry.packet_inject is not None:
+            self.telemetry.packet_inject(self, packet)
         self.routers[packet.src].inject(packet)
 
     # -- introspection -----------------------------------------------------------

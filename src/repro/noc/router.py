@@ -139,6 +139,7 @@ class Router:
         self.node = node
         self.network = network
         self._stats = network.stats
+        self._telemetry = network.telemetry
         # Virtual cut-through allocation: an output VC is granted only when
         # the downstream buffer can hold the whole packet.  This is what
         # makes the escape-channel argument of Lemma 1 sound for the
@@ -207,6 +208,8 @@ class Router:
         if vc.state == VC_IDLE and not vc.queued and flit.is_head:
             vc.queued = True
             self._pending.append(vc)
+        if self._telemetry.flit_recv is not None:
+            self._telemetry.flit_recv(self, port, vc_idx, flit, now)
         self.network.activate_router(self)
 
     def credit_arrive(self, out_port: int, vc: int) -> None:
@@ -327,6 +330,12 @@ class Router:
 
     def _allocate_output(self, out: OutputPort, vcs: list[InputVC], now: int) -> None:
         link = out.link
+        if self._telemetry.credit_stall is not None and link is not None:
+            # One event per (output VC, cycle) with a flit ready but no
+            # downstream credit — the epoch collector's credit-stall metric.
+            for ivc in vcs:
+                if ivc.queue and out.credits[ivc.out_vc] <= 0:
+                    self._telemetry.credit_stall(self, out.index, ivc.out_vc, now)
         budget = out.bandwidth if link is None else min(out.bandwidth, link.accept_budget(now))
         if budget <= 0:
             return
@@ -357,6 +366,8 @@ class Router:
         if in_port.link is not None:
             in_port.link.return_credit(ivc.index, now)
         self._stats.note_router_flit()
+        if self._telemetry.flit_send is not None:
+            self._telemetry.flit_send(self, flit, out.index, ivc.out_vc, now)
         link = out.link
         if link is None:
             self._eject(flit, now)
@@ -385,6 +396,8 @@ class Router:
                 raise RuntimeError(f"packet {packet.pid} lost flits in flight")
             packet.arrive_cycle = now
             self.network.stats.note_packet_delivered(packet, now)
+            if self._telemetry.packet_eject is not None:
+                self._telemetry.packet_eject(self, packet, now)
 
     # -- introspection ------------------------------------------------------
     def buffered_flits(self) -> int:

@@ -6,6 +6,11 @@ PHY kinds carried it, where it used a wraparound or hypercube shortcut,
 and where the escape path took over.  Used for debugging routing
 functions, for the path-diversity analyses, and by the visualization
 helpers.
+
+The tracer subscribes to the network's telemetry bus (the ``link_accept``
+event) rather than wrapping link methods, so it composes with the
+invariant sanitizer and the epoch/trace collectors, and detaching it
+restores the uninstrumented fast path exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Callable, Optional
 
 from .channel import ChannelKind
 from .flit import Flit, Packet
+from .link import Link
 from .network import Network
 
 
@@ -23,7 +29,7 @@ class RouteTracer:
     Parameters
     ----------
     network:
-        The built network to instrument (links are wrapped in place).
+        The built network to observe (subscribes to its telemetry bus).
     sample:
         Predicate deciding which packets to trace (default: all).  Keep it
         selective on long runs — traces are kept for the tracer's lifetime.
@@ -38,18 +44,18 @@ class RouteTracer:
         self.sample = sample or (lambda packet: True)
         #: pid -> list of (link_index, cycle)
         self.paths: dict[int, list[tuple[int, int]]] = {}
-        self._install()
+        self._attached = True
+        network.telemetry.subscribe("link_accept", self._on_link_accept)
 
-    def _install(self) -> None:
-        for index, link in enumerate(self.network.links):
-            original = link.accept
+    def _on_link_accept(self, link: Link, flit: Flit, vc: int, now: int) -> None:
+        if flit.is_head and self.sample(flit.packet):
+            self.paths.setdefault(flit.packet.pid, []).append((link.index, now))
 
-            def traced(flit: Flit, vc: int, now: int, _orig=original, _idx=index):
-                if flit.is_head and self.sample(flit.packet):
-                    self.paths.setdefault(flit.packet.pid, []).append((_idx, now))
-                _orig(flit, vc, now)
-
-            link.accept = traced  # type: ignore[method-assign]
+    def detach(self) -> None:
+        """Stop tracing; recorded paths remain queryable."""
+        if self._attached:
+            self.network.telemetry.unsubscribe("link_accept", self._on_link_accept)
+            self._attached = False
 
     # -- queries ------------------------------------------------------------
     def path_of(self, packet: Packet) -> list[int]:

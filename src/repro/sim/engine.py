@@ -10,6 +10,9 @@ this is how the deadlock-freedom tests exercise Theorem 1.
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 from typing import Iterable, Optional, Protocol
 
 from repro.noc.flit import Packet
@@ -69,6 +72,34 @@ class Engine:
             f"network failed to drain within {max_cycles} cycles "
             f"({self.network.buffered_flits()} flits still buffered)"
         )
+
+    def run_profiled(
+        self,
+        cycles: int,
+        *,
+        drain: bool = False,
+        sort: str = "cumulative",
+        top: int = 25,
+    ) -> tuple[Stats, str]:
+        """Run under :mod:`cProfile` and return ``(stats, report_text)``.
+
+        With ``drain=True`` this wraps :meth:`run_until_drained` (``cycles``
+        becomes the drain deadline); otherwise :meth:`run`.  The report lists
+        the ``top`` hottest functions sorted by ``sort`` (any
+        :mod:`pstats` sort key).
+        """
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            if drain:
+                self.run_until_drained(cycles)
+            else:
+                self.run(cycles)
+        finally:
+            profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(top)
+        return self.stats, buffer.getvalue()
 
     def _empty(self) -> bool:
         return self.network.buffered_flits() == 0 and self.network.in_flight_flits() == 0

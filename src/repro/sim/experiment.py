@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.core.phy import HeteroPhyLink
 from repro.noc.network import Network
+from repro.telemetry import TelemetryConfig, TelemetrySession
 from repro.topology.system import SystemSpec
 from repro.traffic.injection import SyntheticWorkload
 from repro.traffic.patterns import make_pattern
@@ -36,6 +37,8 @@ class RunResult:
     #: (parallel, serial) flit counts over all hetero-PHY links.
     phy_split: tuple[int, int] = (0, 0)
     extras: dict[str, float] = field(default_factory=dict)
+    #: Finalized telemetry session (set when ``telemetry=`` was requested).
+    telemetry: Optional[TelemetrySession] = None
 
     @property
     def avg_latency(self) -> float:
@@ -71,8 +74,14 @@ def run_synthetic(
     warmup: Optional[int] = None,
     seed: int = 1,
     pattern_kwargs: Optional[dict] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
-    """Simulate one synthetic-pattern point (one marker of Fig 11/14)."""
+    """Simulate one synthetic-pattern point (one marker of Fig 11/14).
+
+    Pass a :class:`~repro.telemetry.TelemetryConfig` as ``telemetry`` to
+    collect per-epoch metrics, a Chrome trace, live progress and/or a
+    cProfile report; the finalized session lands on ``RunResult.telemetry``.
+    """
     config = spec.config
     cycles = cycles if cycles is not None else config.sim_cycles
     warmup = warmup if warmup is not None else config.warmup_cycles
@@ -88,7 +97,19 @@ def run_synthetic(
         seed=seed,
     )
     engine = Engine(network, workload, stats)
-    engine.run(cycles)
+    session: Optional[TelemetrySession] = None
+    if telemetry is not None:
+        session = TelemetrySession.attach(
+            network, telemetry, warmup=warmup, total_cycles=cycles
+        )
+    if session is not None and telemetry is not None and telemetry.profile:
+        _, session.profile_text = engine.run_profiled(
+            cycles, top=telemetry.profile_top
+        )
+    else:
+        engine.run(cycles)
+    if session is not None:
+        session.finalize(engine.cycle)
     return RunResult(
         system=spec.name,
         workload=f"{pattern}@{rate:g}",
@@ -97,6 +118,7 @@ def run_synthetic(
         cycles=cycles,
         stats=stats,
         phy_split=_collect_phy_split(network),
+        telemetry=session,
     )
 
 
@@ -108,22 +130,38 @@ def run_trace(
     warmup: int = 0,
     drain_margin: int = 200_000,
     strict: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """Replay a trace to completion (Fig 12/13/15/17 methodology).
 
     With ``strict=False`` a network that cannot drain the trace within the
     margin (a saturated operating point) returns its partial statistics
     instead of raising; ``delivered_fraction`` then reflects the loss.
+    Pass ``telemetry=`` exactly as in :func:`run_synthetic`.
     """
     stats = Stats(measure_from=warmup)
     network = build_network(spec, stats, policy=policy)
     workload = TraceWorkload(trace)
     engine = Engine(network, workload, stats)
+    deadline = trace.duration + drain_margin
+    session: Optional[TelemetrySession] = None
+    if telemetry is not None:
+        session = TelemetrySession.attach(
+            network, telemetry, warmup=warmup, total_cycles=None
+        )
     try:
-        engine.run_until_drained(trace.duration + drain_margin)
+        if session is not None and telemetry is not None and telemetry.profile:
+            _, session.profile_text = engine.run_profiled(
+                deadline, drain=True, top=telemetry.profile_top
+            )
+        else:
+            engine.run_until_drained(deadline)
     except RuntimeError:
         if strict:
             raise
+    finally:
+        if session is not None:
+            session.finalize(engine.cycle)
     return RunResult(
         system=spec.name,
         workload=trace.name,
@@ -132,6 +170,7 @@ def run_trace(
         cycles=engine.cycle,
         stats=stats,
         phy_split=_collect_phy_split(network),
+        telemetry=session,
     )
 
 

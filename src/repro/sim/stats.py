@@ -153,10 +153,14 @@ class Stats:
             return math.nan
         return self.packets_delivered / self.measured_injected
 
-    def summary(self) -> dict[str, float]:
-        """A flat dictionary of the headline metrics."""
+    def summary(self) -> dict[str, float | int]:
+        """A flat dictionary of the headline metrics.
+
+        Counters (``packets_delivered``) stay :class:`int`; derived metrics
+        are :class:`float` (``nan`` when the measured population is empty).
+        """
         return {
-            "packets_delivered": float(self.packets_delivered),
+            "packets_delivered": self.packets_delivered,
             "avg_latency": self.avg_latency,
             "latency_stddev": self.latency_stddev,
             "p99_latency": self.latency_percentile(99),

@@ -1,0 +1,38 @@
+"""Unified observability for the simulator (see ``docs/observability.md``).
+
+* :class:`TelemetryBus` — the single instrumentation seam: named events,
+  zero-cost with no subscribers (``repro.telemetry.bus``);
+* :class:`EpochMetrics` — per-epoch time-series collectors with CSV/JSON
+  export (``repro.telemetry.metrics``);
+* :class:`ChromeTraceBuilder` — Perfetto-loadable Chrome trace-event
+  export of sampled packets and component lanes
+  (``repro.telemetry.trace``);
+* :class:`ProgressReporter` — live cycles/sec + in-flight + delivered
+  status line for long runs (``repro.telemetry.progress``);
+* :class:`TelemetryConfig` / :class:`TelemetrySession` — one-call
+  attachment used by ``run_synthetic`` / ``run_trace`` and the
+  ``repro simulate`` CLI (``repro.telemetry.session``).
+
+Import note: ``repro.noc`` imports :mod:`repro.telemetry.bus` at module
+load, so this package initializer must stay free of ``repro.noc`` imports;
+collector submodules only reference simulator types under
+``typing.TYPE_CHECKING``.
+"""
+
+from .bus import EVENT_NAMES, NULL_BUS, TelemetryBus
+from .metrics import EpochMetrics, EpochSample
+from .progress import ProgressReporter
+from .session import TelemetryConfig, TelemetrySession
+from .trace import ChromeTraceBuilder
+
+__all__ = [
+    "EVENT_NAMES",
+    "NULL_BUS",
+    "TelemetryBus",
+    "EpochMetrics",
+    "EpochSample",
+    "ProgressReporter",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "ChromeTraceBuilder",
+]

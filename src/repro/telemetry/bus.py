@@ -1,0 +1,165 @@
+"""Unified telemetry event bus.
+
+One :class:`TelemetryBus` per :class:`~repro.noc.network.Network` is the
+single instrumentation seam of the simulator.  Every probe — the route
+tracer, the invariant sanitizer, the epoch metric collectors, the trace
+exporter, the progress reporter — subscribes to named events instead of
+monkey-patching simulator methods, so probes compose and the hot path
+stays intact.
+
+Zero-cost contract
+------------------
+Each event is an attribute on the bus that is ``None`` while nobody
+listens.  Emission sites are written as::
+
+    bus = self._telemetry
+    if bus.link_accept is not None:
+        bus.link_accept(self, flit, vc, now)
+
+so an uninstrumented run pays one attribute load and one ``is not None``
+test per event site — measured at well under the 5% wall-clock budget
+(see ``docs/observability.md``).  Subscribing rebinds the attribute to the
+callback (or to a fan-out dispatcher when several callbacks are attached);
+unsubscribing the last callback restores ``None``.
+
+Event catalogue (arguments each callback receives):
+
+=================  ===========================================================
+``packet_inject``  ``(network, packet)`` — packet handed to its source router
+``packet_eject``   ``(router, packet, now)`` — tail flit ejected, packet done
+``flit_send``      ``(router, flit, out_port, out_vc, now)`` — switch traversal
+``flit_recv``      ``(router, port, vc, flit, now)`` — flit entered an input VC
+``link_accept``    ``(link, flit, vc, now)`` — flit entered a link at the TX
+``credit_return``  ``(link, vc, now)`` — a buffer slot credit left downstream
+``credit_stall``   ``(router, out_port, vc, now)`` — an active VC had a flit
+                   ready but zero downstream credits this cycle
+``phy_dispatch``   ``(link, flit, vc, phy, now)`` — hetero-PHY TX dispatched a
+                   flit on ``phy`` (``"P"`` parallel or ``"S"`` serial, the
+                   dispatch-policy vocabulary of ``repro.core.scheduling``)
+``rob_insert``     ``(link, flit, vc, now)`` — flit entered the reorder buffer
+``rob_release``    ``(link, flit, vc, now)`` — flit released in order to RX
+``cycle_end``      ``(network, now)`` — the network finished stepping ``now``
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+#: All event names, in catalogue order.
+EVENT_NAMES: tuple[str, ...] = (
+    "packet_inject",
+    "packet_eject",
+    "flit_send",
+    "flit_recv",
+    "link_accept",
+    "credit_return",
+    "credit_stall",
+    "phy_dispatch",
+    "rob_insert",
+    "rob_release",
+    "cycle_end",
+)
+
+Callback = Callable[..., None]
+
+
+class TelemetryBus:
+    """Publish/subscribe hub for simulator instrumentation events."""
+
+    __slots__ = (*EVENT_NAMES, "_subscribers")
+
+    packet_inject: Optional[Callback]
+    packet_eject: Optional[Callback]
+    flit_send: Optional[Callback]
+    flit_recv: Optional[Callback]
+    link_accept: Optional[Callback]
+    credit_return: Optional[Callback]
+    credit_stall: Optional[Callback]
+    phy_dispatch: Optional[Callback]
+    rob_insert: Optional[Callback]
+    rob_release: Optional[Callback]
+    cycle_end: Optional[Callback]
+
+    def __init__(self) -> None:
+        for name in EVENT_NAMES:
+            setattr(self, name, None)
+        self._subscribers: dict[str, list[Callback]] = {name: [] for name in EVENT_NAMES}
+
+    # -- subscription management -------------------------------------------
+    def subscribe(self, event: str, callback: Callback) -> Callback:
+        """Attach ``callback`` to ``event``; returns the callback."""
+        subscribers = self._subscribers_for(event)
+        subscribers.append(callback)
+        self._rebind(event)
+        return callback
+
+    def unsubscribe(self, event: str, callback: Callback) -> None:
+        """Detach one previously subscribed callback (no-op if absent)."""
+        subscribers = self._subscribers_for(event)
+        try:
+            subscribers.remove(callback)
+        except ValueError:
+            return
+        self._rebind(event)
+
+    def active(self, event: str) -> bool:
+        """True when at least one subscriber listens to ``event``."""
+        return bool(self._subscribers_for(event))
+
+    def subscriber_count(self, event: str) -> int:
+        return len(self._subscribers_for(event))
+
+    def clear(self) -> None:
+        """Drop every subscription (all events go back to zero-cost)."""
+        for name in EVENT_NAMES:
+            self._subscribers[name].clear()
+            setattr(self, name, None)
+
+    # -- internals ----------------------------------------------------------
+    def _subscribers_for(self, event: str) -> list[Callback]:
+        try:
+            return self._subscribers[event]
+        except KeyError:
+            raise ValueError(
+                f"unknown telemetry event {event!r}; known events: "
+                + ", ".join(EVENT_NAMES)
+            ) from None
+
+    def _rebind(self, event: str) -> None:
+        subscribers = self._subscribers[event]
+        if not subscribers:
+            setattr(self, event, None)
+        elif len(subscribers) == 1:
+            setattr(self, event, subscribers[0])
+        else:
+            # Fan-out closure over a snapshot: subscribing mid-dispatch
+            # never mutates the tuple an emission is iterating.
+            targets = tuple(subscribers)
+
+            def dispatch(*args: Any, _targets: tuple[Callback, ...] = targets) -> None:
+                for target in _targets:
+                    target(*args)
+
+            setattr(self, event, dispatch)
+
+
+class _InertBus(TelemetryBus):
+    """Placeholder bus for links not yet attached to a network.
+
+    Emission through it is a no-op (every hook is ``None``); subscribing is
+    an error, because events from the object would flow to the network's
+    real bus after :meth:`~repro.noc.link.Link.attach`.
+    """
+
+    __slots__ = ()
+
+    def subscribe(self, event: str, callback: Callback) -> Callback:
+        raise RuntimeError(
+            "cannot subscribe to an unattached component's inert bus; "
+            "subscribe to network.telemetry instead"
+        )
+
+
+#: Shared inert bus used as the pre-attach default.
+NULL_BUS = _InertBus()

@@ -1,0 +1,423 @@
+"""Per-epoch time-series metric collectors.
+
+:class:`EpochMetrics` subscribes to the network's telemetry bus and closes
+one :class:`EpochSample` every ``epoch_length`` cycles.  Everything that
+can be derived from counters the simulator already maintains is collected
+by *differencing* those counters at epoch boundaries (per-link flits,
+hetero-PHY dispatch split, injected/delivered totals), so steady-state
+collection costs one sweep per epoch, not per cycle.  Only credit-stall
+accounting listens to a per-event hook, and that event fires only under
+congestion.
+
+Collected per epoch:
+
+* per-link carried flits and utilization (flits / cycle / lane);
+* per-(router, port, VC) buffer occupancy, sampled at the epoch boundary
+  (non-zero entries only — queues are sparse in healthy runs);
+* credit-stall cycles per (router, output port, VC);
+* reorder-buffer occupancy sample + in-epoch peak per hetero-PHY link;
+* hetero-PHY dispatch split (parallel / serial / bypassed flits);
+* global progress: flits injected, measured packets delivered, router
+  flit movements, and buffered / in-flight samples.
+
+Epochs whose *start* falls inside the warm-up window are flagged
+``warmup=True``; accessors exclude them by default, matching the
+measured-population convention of :class:`repro.sim.stats.Stats`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+    from repro.noc.router import Router
+
+
+@dataclass
+class EpochSample:
+    """Everything measured over one epoch ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    warmup: bool
+    flits_injected: int
+    packets_delivered: int
+    router_flits: int
+    buffered: int
+    in_flight: int
+    #: link index -> flits carried this epoch (non-zero entries only).
+    link_flits: dict[int, int] = field(default_factory=dict)
+    #: (node, port, vc) -> flits buffered at the epoch boundary (non-zero).
+    buffer_occupancy: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    #: (node, out_port, vc) -> cycles stalled on zero credits this epoch.
+    credit_stalls: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    #: link index -> (occupancy sample, in-epoch peak) of the reorder buffer.
+    rob: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: link index -> (parallel, serial, bypassed) flits dispatched this epoch.
+    phy_split: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+class EpochMetrics:
+    """Time-series collector attached to a network's telemetry bus.
+
+    Parameters
+    ----------
+    network:
+        The built network to observe.
+    epoch_length:
+        Cycles per epoch (>= 1).
+    warmup:
+        Epochs starting before this cycle are flagged as warm-up and
+        excluded from :meth:`epochs` / :meth:`totals` by default.
+    sample_buffers:
+        Sweep per-VC buffer occupancy at epoch boundaries (disable for
+        very large systems where only link series are wanted).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        epoch_length: int = 1_000,
+        warmup: int = 0,
+        sample_buffers: bool = True,
+    ) -> None:
+        if epoch_length < 1:
+            raise ValueError("epoch_length must be >= 1")
+        self.network = network
+        self.epoch_length = epoch_length
+        self.warmup = warmup
+        self.sample_buffers = sample_buffers
+        self.samples: list[EpochSample] = []
+        self._stall_counts: dict[tuple[int, int, int], int] = {}
+        self._epoch_start = 0
+        self._next_boundary = epoch_length
+        self._closed = False
+        # Counter baselines for differencing at epoch boundaries.
+        self._base_link_flits = [link.flits_carried for link in network.links]
+        self._base_phy: dict[int, tuple[int, int, int]] = {
+            index: split for index, split in self._phy_counters()
+        }
+        stats = network.stats
+        self._base_injected = stats.flits_injected
+        self._base_delivered = stats.packets_delivered
+        self._base_router_flits = stats.router_flits
+        bus = network.telemetry
+        bus.subscribe("cycle_end", self._on_cycle_end)
+        bus.subscribe("credit_stall", self._on_credit_stall)
+
+    # -- bus callbacks -----------------------------------------------------
+    def _on_credit_stall(self, router: "Router", out_port: int, vc: int, now: int) -> None:
+        key = (router.node, out_port, vc)
+        self._stall_counts[key] = self._stall_counts.get(key, 0) + 1
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        if now + 1 >= self._next_boundary:
+            self._close_epoch(self._next_boundary)
+            self._next_boundary += self.epoch_length
+
+    # -- lifecycle ---------------------------------------------------------
+    def finish(self, end_cycle: int) -> None:
+        """Close a trailing partial epoch and detach from the bus."""
+        if not self._closed and end_cycle > self._epoch_start:
+            self._close_epoch(end_cycle)
+        self.detach()
+
+    def detach(self) -> None:
+        if not self._closed:
+            bus = self.network.telemetry
+            bus.unsubscribe("cycle_end", self._on_cycle_end)
+            bus.unsubscribe("credit_stall", self._on_credit_stall)
+            self._closed = True
+
+    # -- epoch assembly ----------------------------------------------------
+    def _phy_counters(self) -> list[tuple[int, tuple[int, int, int]]]:
+        counters = []
+        for index, link in enumerate(self.network.links):
+            parallel = getattr(link, "flits_parallel", None)
+            if parallel is not None:
+                counters.append(
+                    (index, (parallel, link.flits_serial, link.flits_bypassed))  # type: ignore[attr-defined]
+                )
+        return counters
+
+    def _close_epoch(self, end: int) -> None:
+        network = self.network
+        stats = network.stats
+        links = network.links
+        link_flits: dict[int, int] = {}
+        for index, link in enumerate(links):
+            delta = link.flits_carried - self._base_link_flits[index]
+            if delta:
+                link_flits[index] = delta
+                self._base_link_flits[index] = link.flits_carried
+        phy_split: dict[int, tuple[int, int, int]] = {}
+        rob: dict[int, tuple[int, int]] = {}
+        for index, counters in self._phy_counters():
+            base = self._base_phy[index]
+            delta3 = (
+                counters[0] - base[0],
+                counters[1] - base[1],
+                counters[2] - base[2],
+            )
+            if any(delta3):
+                phy_split[index] = delta3
+                self._base_phy[index] = counters
+            link = links[index]
+            occupancy = link.rob.occupancy  # type: ignore[attr-defined]
+            peak = link.rob.take_window_peak()  # type: ignore[attr-defined]
+            if occupancy or peak:
+                rob[index] = (occupancy, peak)
+        buffer_occupancy: dict[tuple[int, int, int], int] = {}
+        if self.sample_buffers:
+            for router in network.routers:
+                for port in router.inputs:
+                    for vc in port.vcs:
+                        held = len(vc.queue)
+                        if held:
+                            buffer_occupancy[(router.node, port.index, vc.index)] = held
+        sample = EpochSample(
+            index=len(self.samples),
+            start=self._epoch_start,
+            end=end,
+            warmup=self._epoch_start < self.warmup,
+            flits_injected=stats.flits_injected - self._base_injected,
+            packets_delivered=stats.packets_delivered - self._base_delivered,
+            router_flits=stats.router_flits - self._base_router_flits,
+            buffered=network.buffered_flits(),
+            in_flight=network.in_flight_flits(),
+            link_flits=link_flits,
+            buffer_occupancy=buffer_occupancy,
+            credit_stalls=self._stall_counts,
+            rob=rob,
+            phy_split=phy_split,
+        )
+        self.samples.append(sample)
+        self._stall_counts = {}
+        self._base_injected = stats.flits_injected
+        self._base_delivered = stats.packets_delivered
+        self._base_router_flits = stats.router_flits
+        self._epoch_start = end
+
+    # -- accessors ---------------------------------------------------------
+    def epochs(self, *, include_warmup: bool = False) -> list[EpochSample]:
+        """Closed epochs, excluding warm-up epochs unless asked."""
+        if include_warmup:
+            return list(self.samples)
+        return [sample for sample in self.samples if not sample.warmup]
+
+    def link_utilization(self, sample: EpochSample, link_index: int) -> float:
+        """Utilization of one link over one epoch (flits / cycle / lane)."""
+        spec = self.network.specs[link_index]
+        flits = sample.link_flits.get(link_index, 0)
+        return flits / (sample.cycles * spec.total_bandwidth)
+
+    def link_series(
+        self, *, top: int = 10, include_warmup: bool = True
+    ) -> tuple[list[str], list[list[float]]]:
+        """(labels, rows) of per-epoch utilization for the busiest links.
+
+        Rows are aligned to :meth:`epochs` order and feed directly into
+        :func:`repro.viz.timeseries_heatmap`.
+        """
+        samples = self.epochs(include_warmup=include_warmup)
+        if not samples:
+            return [], []
+        totals: dict[int, int] = {}
+        for sample in samples:
+            for index, flits in sample.link_flits.items():
+                totals[index] = totals.get(index, 0) + flits
+        busiest = sorted(totals, key=lambda index: -totals[index])[:top]
+        labels = []
+        rows = []
+        for index in busiest:
+            spec = self.network.specs[index]
+            labels.append(f"{spec.src}->{spec.dst} {spec.kind.value}")
+            rows.append([self.link_utilization(sample, index) for sample in samples])
+        return labels, rows
+
+    def totals(self, *, include_warmup: bool = False) -> dict[str, int]:
+        """Summed counters over the (measured) epochs."""
+        samples = self.epochs(include_warmup=include_warmup)
+        return {
+            "epochs": len(samples),
+            "cycles": sum(sample.cycles for sample in samples),
+            "flits_injected": sum(sample.flits_injected for sample in samples),
+            "packets_delivered": sum(sample.packets_delivered for sample in samples),
+            "router_flits": sum(sample.router_flits for sample in samples),
+            "credit_stall_cycles": sum(
+                sum(sample.credit_stalls.values()) for sample in samples
+            ),
+        }
+
+    # -- export ------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """The full series as one JSON-serializable document."""
+        return {
+            "epoch_length": self.epoch_length,
+            "warmup": self.warmup,
+            "links": [
+                {
+                    "index": index,
+                    "src": spec.src,
+                    "dst": spec.dst,
+                    "kind": spec.kind.value,
+                    "bandwidth": spec.total_bandwidth,
+                }
+                for index, spec in enumerate(self.network.specs)
+            ],
+            "epochs": [
+                {
+                    "index": sample.index,
+                    "start": sample.start,
+                    "end": sample.end,
+                    "warmup": sample.warmup,
+                    "flits_injected": sample.flits_injected,
+                    "packets_delivered": sample.packets_delivered,
+                    "router_flits": sample.router_flits,
+                    "buffered": sample.buffered,
+                    "in_flight": sample.in_flight,
+                    "link_flits": {str(k): v for k, v in sample.link_flits.items()},
+                    "buffer_occupancy": [
+                        {"node": node, "port": port, "vc": vc, "flits": flits}
+                        for (node, port, vc), flits in sample.buffer_occupancy.items()
+                    ],
+                    "credit_stalls": [
+                        {"node": node, "out_port": port, "vc": vc, "cycles": cycles}
+                        for (node, port, vc), cycles in sample.credit_stalls.items()
+                    ],
+                    "rob": {
+                        str(index): {"occupancy": occ, "peak": peak}
+                        for index, (occ, peak) in sample.rob.items()
+                    },
+                    "phy_split": {
+                        str(index): {"parallel": par, "serial": ser, "bypassed": byp}
+                        for index, (par, ser, byp) in sample.phy_split.items()
+                    },
+                }
+                for sample in self.samples
+            ],
+        }
+
+    def write(self, directory: str | Path) -> list[Path]:
+        """Write the CSV files + ``metrics.json`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = [
+            self._write_epochs_csv(directory / "epochs.csv"),
+            self._write_link_csv(directory / "link_util.csv"),
+            self._write_buffers_csv(directory / "buffer_occupancy.csv"),
+            self._write_stalls_csv(directory / "credit_stalls.csv"),
+            self._write_rob_csv(directory / "rob.csv"),
+            self._write_phy_csv(directory / "phy_split.csv"),
+        ]
+        json_path = directory / "metrics.json"
+        with json_path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+        written.append(json_path)
+        return written
+
+    def _write_epochs_csv(self, path: Path) -> Path:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "epoch",
+                    "start",
+                    "end",
+                    "warmup",
+                    "flits_injected",
+                    "packets_delivered",
+                    "router_flits",
+                    "buffered",
+                    "in_flight",
+                ]
+            )
+            for sample in self.samples:
+                writer.writerow(
+                    [
+                        sample.index,
+                        sample.start,
+                        sample.end,
+                        int(sample.warmup),
+                        sample.flits_injected,
+                        sample.packets_delivered,
+                        sample.router_flits,
+                        sample.buffered,
+                        sample.in_flight,
+                    ]
+                )
+        return path
+
+    def _write_link_csv(self, path: Path) -> Path:
+        specs = self.network.specs
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["epoch", "link", "src", "dst", "kind", "flits", "util"])
+            for sample in self.samples:
+                for index in sorted(sample.link_flits):
+                    spec = specs[index]
+                    writer.writerow(
+                        [
+                            sample.index,
+                            index,
+                            spec.src,
+                            spec.dst,
+                            spec.kind.value,
+                            sample.link_flits[index],
+                            f"{self.link_utilization(sample, index):.6f}",
+                        ]
+                    )
+        return path
+
+    def _write_buffers_csv(self, path: Path) -> Path:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["epoch", "node", "port", "vc", "flits"])
+            for sample in self.samples:
+                for (node, port, vc) in sorted(sample.buffer_occupancy):
+                    writer.writerow(
+                        [sample.index, node, port, vc, sample.buffer_occupancy[(node, port, vc)]]
+                    )
+        return path
+
+    def _write_stalls_csv(self, path: Path) -> Path:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["epoch", "node", "out_port", "vc", "stall_cycles"])
+            for sample in self.samples:
+                for (node, port, vc) in sorted(sample.credit_stalls):
+                    writer.writerow(
+                        [sample.index, node, port, vc, sample.credit_stalls[(node, port, vc)]]
+                    )
+        return path
+
+    def _write_rob_csv(self, path: Path) -> Path:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["epoch", "link", "occupancy", "peak"])
+            for sample in self.samples:
+                for index in sorted(sample.rob):
+                    occupancy, peak = sample.rob[index]
+                    writer.writerow([sample.index, index, occupancy, peak])
+        return path
+
+    def _write_phy_csv(self, path: Path) -> Path:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["epoch", "link", "parallel", "serial", "bypassed"])
+            for sample in self.samples:
+                for index in sorted(sample.phy_split):
+                    parallel, serial, bypassed = sample.phy_split[index]
+                    writer.writerow([sample.index, index, parallel, serial, bypassed])
+        return path

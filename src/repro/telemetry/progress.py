@@ -1,0 +1,98 @@
+"""Live progress reporting for long simulation runs.
+
+:class:`ProgressReporter` subscribes to the ``cycle_end`` event and
+periodically rewrites one status line on a stream (stderr by default):
+simulated cycle, simulation speed in cycles/second of wall-clock time,
+flits currently in the network, and the delivered fraction of the
+measured packet population.  Overhead is one modulo test per cycle plus
+one line of I/O per reporting interval.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import IO, TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+
+class ProgressReporter:
+    """Writes an updating one-line run status to a stream.
+
+    Parameters
+    ----------
+    network:
+        The built network to observe (its ``stats`` provides delivery
+        figures).
+    every_cycles:
+        Cycles between status updates (>= 1).
+    stream:
+        Destination text stream; defaults to ``sys.stderr``.
+    total_cycles:
+        When known, the status line includes percentage completion.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        every_cycles: int = 5_000,
+        stream: Optional[IO[str]] = None,
+        total_cycles: Optional[int] = None,
+    ) -> None:
+        if every_cycles < 1:
+            raise ValueError("every_cycles must be >= 1")
+        self.network = network
+        self.every_cycles = every_cycles
+        self.stream = stream if stream is not None else sys.stderr
+        self.total_cycles = total_cycles
+        self.updates = 0
+        self._started = time.perf_counter()
+        self._last_wall = self._started
+        self._last_cycle = 0
+        self._closed = False
+        network.telemetry.subscribe("cycle_end", self._on_cycle_end)
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        cycle = now + 1
+        if cycle % self.every_cycles:
+            return
+        wall = time.perf_counter()
+        elapsed = wall - self._last_wall
+        cps = (cycle - self._last_cycle) / elapsed if elapsed > 0 else float("inf")
+        self._last_wall = wall
+        self._last_cycle = cycle
+        self.updates += 1
+        self.stream.write("\r" + self._format_line(cycle, cps))
+        self.stream.flush()
+
+    def _format_line(self, cycle: int, cps: float) -> str:
+        stats = self.network.stats
+        in_network = self.network.buffered_flits() + self.network.in_flight_flits()
+        fraction = stats.delivered_fraction
+        delivered = "n/a" if math.isnan(fraction) else f"{fraction:6.1%}"
+        parts = [f"cycle {cycle:>9d}"]
+        if self.total_cycles:
+            parts.append(f"({cycle / self.total_cycles:4.0%})")
+        parts.append(f"| {cps:>10,.0f} cyc/s")
+        parts.append(f"| in-flight {in_network:>6d} flits")
+        parts.append(f"| delivered {delivered}")
+        return " ".join(parts)
+
+    def close(self) -> None:
+        """Stop reporting: detach from the bus and finish the status line."""
+        if self._closed:
+            return
+        self.network.telemetry.unsubscribe("cycle_end", self._on_cycle_end)
+        self._closed = True
+        if self.updates:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since the reporter was attached."""
+        return time.perf_counter() - self._started

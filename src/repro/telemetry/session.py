@@ -1,0 +1,113 @@
+"""One-call attachment of the full telemetry stack to a network.
+
+:class:`TelemetryConfig` is the declarative surface exposed by the CLI
+(``repro simulate --metrics DIR --trace FILE --epoch N --profile``) and by
+the experiment harness (``run_synthetic(..., telemetry=...)``); a
+:class:`TelemetrySession` instantiates the requested collectors against a
+built network's bus and, at :meth:`~TelemetrySession.finalize`, flushes
+their outputs to disk and detaches everything so the network returns to
+the zero-subscriber fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Callable, Optional
+
+from .metrics import EpochMetrics
+from .progress import ProgressReporter
+from .trace import ChromeTraceBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.flit import Packet
+    from repro.noc.network import Network
+
+
+@dataclass
+class TelemetryConfig:
+    """What to collect during a run and where to put it.
+
+    Every field is optional; an all-defaults config collects epoch metrics
+    in memory only (reachable via ``RunResult.telemetry.metrics``).
+    """
+
+    #: Directory for per-epoch CSVs + ``metrics.json`` (None: keep in memory).
+    metrics_dir: Optional[str | Path] = None
+    #: Output path for the Chrome trace-event JSON (None: no trace).
+    trace_path: Optional[str | Path] = None
+    #: Epoch length in cycles for the time-series collectors.
+    epoch_length: int = 1_000
+    #: Predicate selecting packets for the trace (default: all, capped).
+    trace_sample: Optional[Callable[["Packet"], bool]] = None
+    #: Cap on traced packets.
+    trace_max_packets: int = 512
+    #: Emit a live progress line while the run advances.
+    progress: bool = False
+    #: Cycles between progress updates.
+    progress_every: int = 5_000
+    #: Progress destination (default: stderr).
+    progress_stream: Optional[IO[str]] = None
+    #: Profile the run with cProfile and keep the report text.
+    profile: bool = False
+    #: Number of hottest functions in the profile report.
+    profile_top: int = 25
+
+
+@dataclass
+class TelemetrySession:
+    """Live collectors attached to one network for one run."""
+
+    network: "Network"
+    config: TelemetryConfig
+    metrics: Optional[EpochMetrics] = None
+    trace: Optional[ChromeTraceBuilder] = None
+    progress: Optional[ProgressReporter] = None
+    #: cProfile report text (set by the harness when profiling was requested).
+    profile_text: Optional[str] = None
+    #: Files written by :meth:`finalize`.
+    written: list[Path] = field(default_factory=list)
+
+    @classmethod
+    def attach(
+        cls,
+        network: "Network",
+        config: Optional[TelemetryConfig] = None,
+        *,
+        warmup: int = 0,
+        total_cycles: Optional[int] = None,
+    ) -> "TelemetrySession":
+        """Instantiate the collectors a config asks for and subscribe them."""
+        config = config or TelemetryConfig()
+        session = cls(network=network, config=config)
+        session.metrics = EpochMetrics(
+            network, epoch_length=config.epoch_length, warmup=warmup
+        )
+        if config.trace_path is not None:
+            session.trace = ChromeTraceBuilder(
+                network,
+                sample=config.trace_sample,
+                max_packets=config.trace_max_packets,
+            )
+        if config.progress:
+            session.progress = ProgressReporter(
+                network,
+                every_cycles=config.progress_every,
+                stream=config.progress_stream,
+                total_cycles=total_cycles,
+            )
+        return session
+
+    def finalize(self, end_cycle: int) -> list[Path]:
+        """Close collectors, write outputs, detach from the bus."""
+        if self.progress is not None:
+            self.progress.close()
+        if self.metrics is not None:
+            self.metrics.finish(end_cycle)
+            if self.config.metrics_dir is not None:
+                self.written.extend(self.metrics.write(self.config.metrics_dir))
+        if self.trace is not None:
+            self.trace.detach()
+            if self.config.trace_path is not None:
+                self.written.append(self.trace.write(self.config.trace_path))
+        return self.written

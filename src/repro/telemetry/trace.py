@@ -1,0 +1,284 @@
+"""Structured event-trace export in Chrome trace-event format.
+
+:class:`ChromeTraceBuilder` subscribes to the telemetry bus and records a
+JSON trace loadable by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``:
+
+* **packet lanes** — every sampled packet gets one thread row under the
+  "packets" process: a whole-lifetime slice (creation to tail ejection),
+  nested per-hop slices (link accept to head arrival downstream), and
+  instant markers for injection, hetero-PHY dispatch decisions and
+  reorder-buffer holds/releases;
+* **component lanes** — counter tracks under the "network" process:
+  buffered and in-flight flits sampled every ``counter_interval`` cycles,
+  plus per-hetero-link reorder-buffer occupancy.
+
+One simulated cycle maps to one microsecond of trace time, so trace
+timestamps read directly as cycles.  Keep the sample predicate selective
+on long runs: events are held in memory until :meth:`write`, and
+``max_packets`` caps the sampled population as a backstop.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.flit import Flit, Packet
+    from repro.noc.link import Link
+    from repro.noc.network import Network
+    from repro.noc.router import Router
+
+#: Trace process ids (named via metadata events).
+PID_NETWORK = 1
+PID_PACKETS = 2
+
+
+class ChromeTraceBuilder:
+    """Record a Chrome trace-event JSON for sampled packets and counters.
+
+    Parameters
+    ----------
+    network:
+        The built network to observe.
+    sample:
+        Predicate choosing which packets get a lane (default: all, up to
+        ``max_packets``).
+    max_packets:
+        Hard cap on sampled packets; later packets are ignored.
+    counter_interval:
+        Cycles between counter samples (0 disables counter tracks).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        sample: Optional[Callable[["Packet"], bool]] = None,
+        max_packets: int = 512,
+        counter_interval: int = 100,
+    ) -> None:
+        if max_packets < 1:
+            raise ValueError("max_packets must be >= 1")
+        if counter_interval < 0:
+            raise ValueError("counter_interval must be >= 0")
+        self.network = network
+        self.sample = sample or (lambda packet: True)
+        self.max_packets = max_packets
+        self.counter_interval = counter_interval
+        self.events: list[dict] = [
+            _meta(PID_NETWORK, "process_name", name="network"),
+            _meta(PID_PACKETS, "process_name", name="packets"),
+        ]
+        self._sampled: set[int] = set()
+        self._saturated = False
+        #: pid -> (link, accept cycle) for a head flit in flight on a link.
+        self._pending_hop: dict[int, tuple["Link", int]] = {}
+        self._closed = False
+        bus = network.telemetry
+        bus.subscribe("packet_inject", self._on_inject)
+        bus.subscribe("link_accept", self._on_link_accept)
+        bus.subscribe("flit_recv", self._on_flit_recv)
+        bus.subscribe("packet_eject", self._on_eject)
+        bus.subscribe("phy_dispatch", self._on_phy_dispatch)
+        bus.subscribe("rob_insert", self._on_rob_insert)
+        bus.subscribe("rob_release", self._on_rob_release)
+        if counter_interval:
+            bus.subscribe("cycle_end", self._on_cycle_end)
+
+    # -- sampling ----------------------------------------------------------
+    def _admit(self, packet: "Packet") -> bool:
+        pid = packet.pid
+        if pid in self._sampled:
+            return True
+        if self._saturated or not self.sample(packet):
+            return False
+        if len(self._sampled) >= self.max_packets:
+            self._saturated = True
+            return False
+        self._sampled.add(pid)
+        self.events.append(
+            _meta(
+                PID_PACKETS,
+                "thread_name",
+                tid=pid,
+                name=f"pkt {pid} {packet.src}->{packet.dst}",
+            )
+        )
+        return True
+
+    # -- bus callbacks -----------------------------------------------------
+    def _on_inject(self, network: "Network", packet: "Packet") -> None:
+        if not self._admit(packet):
+            return
+        self.events.append(
+            _instant(PID_PACKETS, packet.pid, packet.create_cycle, "inject")
+        )
+
+    def _on_link_accept(self, link: "Link", flit: "Flit", vc: int, now: int) -> None:
+        if not flit.is_head:
+            return
+        packet = flit.packet
+        if packet.pid not in self._sampled:
+            return
+        self._pending_hop[packet.pid] = (link, now)
+
+    def _on_flit_recv(
+        self, router: "Router", port: int, vc: int, flit: "Flit", now: int
+    ) -> None:
+        if not flit.is_head:
+            return
+        pid = flit.packet.pid
+        pending = self._pending_hop.get(pid)
+        if pending is None:
+            return
+        link, accepted = pending
+        if router.inputs[port].link is not link:
+            return
+        del self._pending_hop[pid]
+        spec = link.spec
+        self.events.append(
+            _slice(
+                PID_PACKETS,
+                pid,
+                accepted,
+                max(now - accepted, 0),
+                f"{spec.src}->{spec.dst} [{spec.kind.value}]",
+                cat="hop",
+            )
+        )
+
+    def _on_eject(self, router: "Router", packet: "Packet", now: int) -> None:
+        pid = packet.pid
+        if pid not in self._sampled:
+            return
+        self._pending_hop.pop(pid, None)
+        self.events.append(
+            _slice(
+                PID_PACKETS,
+                pid,
+                packet.create_cycle,
+                max(now - packet.create_cycle, 0),
+                f"pkt {pid} {packet.src}->{packet.dst}",
+                cat="packet",
+            )
+        )
+
+    def _on_phy_dispatch(
+        self, link: "Link", flit: "Flit", vc: int, phy: str, now: int
+    ) -> None:
+        if flit.is_head and flit.packet.pid in self._sampled:
+            label = {"P": "parallel", "S": "serial"}.get(phy, phy)
+            self.events.append(
+                _instant(PID_PACKETS, flit.packet.pid, now, f"dispatch {label}")
+            )
+
+    def _on_rob_insert(self, link: "Link", flit: "Flit", vc: int, now: int) -> None:
+        if flit.is_head and flit.packet.pid in self._sampled:
+            self.events.append(_instant(PID_PACKETS, flit.packet.pid, now, "rob hold"))
+
+    def _on_rob_release(self, link: "Link", flit: "Flit", vc: int, now: int) -> None:
+        if flit.is_head and flit.packet.pid in self._sampled:
+            self.events.append(
+                _instant(PID_PACKETS, flit.packet.pid, now, "rob release")
+            )
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        if now % self.counter_interval:
+            return
+        self.events.append(
+            _counter(PID_NETWORK, 0, now, "flits", buffered=network.buffered_flits(),
+                     in_flight=network.in_flight_flits())
+        )
+        for index, link in enumerate(network.links):
+            rob = getattr(link, "rob", None)
+            if rob is not None:
+                spec = link.spec
+                self.events.append(
+                    _counter(
+                        PID_NETWORK,
+                        index + 1,
+                        now,
+                        f"rob {spec.src}->{spec.dst}",
+                        occupancy=rob.occupancy,
+                    )
+                )
+
+    # -- output ------------------------------------------------------------
+    def detach(self) -> None:
+        """Unsubscribe from the bus (recording stops, events are kept)."""
+        if self._closed:
+            return
+        bus = self.network.telemetry
+        bus.unsubscribe("packet_inject", self._on_inject)
+        bus.unsubscribe("link_accept", self._on_link_accept)
+        bus.unsubscribe("flit_recv", self._on_flit_recv)
+        bus.unsubscribe("packet_eject", self._on_eject)
+        bus.unsubscribe("phy_dispatch", self._on_phy_dispatch)
+        bus.unsubscribe("rob_insert", self._on_rob_insert)
+        bus.unsubscribe("rob_release", self._on_rob_release)
+        if self.counter_interval:
+            bus.unsubscribe("cycle_end", self._on_cycle_end)
+        self._closed = True
+
+    def to_dict(self) -> dict:
+        """The trace document (Chrome trace-event JSON object form)."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.telemetry",
+                "clock": "1 simulated cycle = 1 us",
+                "sampled_packets": len(self._sampled),
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize the trace to ``path`` (creating parent directories)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+        return path
+
+
+# -- event constructors (Chrome trace-event schema) -------------------------
+def _meta(pid: int, kind: str, *, tid: int = 0, name: str) -> dict:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": kind, "args": {"name": name}}
+
+
+def _slice(pid: int, tid: int, ts: int, dur: int, name: str, *, cat: str) -> dict:
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": float(ts),
+        "dur": float(dur),
+        "name": name,
+        "cat": cat,
+    }
+
+
+def _instant(pid: int, tid: int, ts: int, name: str) -> dict:
+    return {
+        "ph": "i",
+        "pid": pid,
+        "tid": tid,
+        "ts": float(ts),
+        "name": name,
+        "s": "t",
+        "cat": "marker",
+    }
+
+
+def _counter(pid: int, tid: int, ts: int, name: str, **values: int) -> dict:
+    return {
+        "ph": "C",
+        "pid": pid,
+        "tid": tid,
+        "ts": float(ts),
+        "name": name,
+        "args": dict(values),
+    }

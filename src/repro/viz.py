@@ -9,6 +9,8 @@ analysis.
 * :func:`utilization_heatmap` — per-node forwarded-flit intensity over a
   finished run;
 * :func:`link_utilization_table` — the busiest links with their kinds;
+* :func:`timeseries_heatmap` — per-epoch telemetry series (one labelled
+  row per link/counter) as a text heatmap;
 * :func:`ascii_curve` — a quick y-vs-x line chart for latency curves.
 """
 
@@ -92,6 +94,44 @@ def link_utilization_table(network: Network, cycles: int, top: int = 10) -> str:
             f"{spec.src:5d}->{spec.dst:<5d} {spec.kind.value:>10s} "
             f"{flits:8d} {util:6.1%}"
         )
+    return "\n".join(lines)
+
+
+def timeseries_heatmap(
+    labels: Sequence[str],
+    rows: Sequence[Sequence[float]],
+    *,
+    epoch_length: int | None = None,
+    title: str = "",
+) -> str:
+    """Render per-epoch time series as a text heatmap, one row per label.
+
+    Feed it the ``(labels, rows)`` pair produced by
+    :meth:`repro.telemetry.EpochMetrics.link_series` (or any equal-length
+    series); each cell maps one epoch's value onto :data:`RAMP`,
+    normalized by the global peak so rows stay comparable.
+    """
+    if len(labels) != len(rows):
+        raise ValueError("labels and rows must be equal-length")
+    if not labels:
+        return (title or "time series") + ": no data"
+    n_epochs = len(rows[0])
+    if any(len(row) != n_epochs for row in rows):
+        raise ValueError("every row must cover the same number of epochs")
+    peak = max((value for row in rows for value in row), default=0.0) or 1.0
+    width = max(len(label) for label in labels)
+    unit = f", epoch = {epoch_length} cycles" if epoch_length else ""
+    lines = [
+        f"{title or 'per-epoch intensity'} "
+        f"({n_epochs} epochs{unit}, peak {peak:.3g})"
+    ]
+    for label, row in zip(labels, rows):
+        cells = "".join(
+            RAMP[min(len(RAMP) - 1, int(value / peak * (len(RAMP) - 1) + 0.5))]
+            for value in row
+        )
+        lines.append(f"{label:>{width}s} |{cells}|")
+    lines.append(f"{'':{width}s}  epochs 0..{n_epochs - 1}")
     return "\n".join(lines)
 
 

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import main
@@ -56,6 +59,68 @@ def test_simulate_smoke(capsys):
 def test_simulate_bad_geometry():
     with pytest.raises(SystemExit):
         main(["simulate", "--chiplets", "four-by-four"])
+
+
+SIM_ARGS = [
+    "simulate",
+    "--family",
+    "hetero_phy_torus",
+    "--chiplets",
+    "2x2",
+    "--nodes",
+    "3x3",
+    "--cycles",
+    "1500",
+    "--rate",
+    "0.1",
+]
+
+
+def test_simulate_integer_counters_print_as_integers(capsys):
+    assert main(SIM_ARGS) == 0
+    out = capsys.readouterr().out
+    match = re.search(r"packets_delivered\s*: (\S+)", out)
+    assert match, out
+    assert re.fullmatch(r"\d+", match.group(1)), "counter printed as float"
+    assert re.search(r"avg_latency\s*: \d+\.\d{3}", out)
+
+
+def test_simulate_seed_is_plumbed_and_reproducible(capsys):
+    assert main([*SIM_ARGS, "--seed", "11"]) == 0
+    first = capsys.readouterr().out
+    assert "seed     : 11" in first
+    assert main([*SIM_ARGS, "--seed", "11"]) == 0
+    assert capsys.readouterr().out == first
+    assert main([*SIM_ARGS, "--seed", "12"]) == 0
+    other = capsys.readouterr().out
+    assert other != first
+
+
+def test_simulate_telemetry_flags(tmp_path, capsys):
+    metrics_dir = tmp_path / "metrics"
+    trace_path = tmp_path / "trace.json"
+    code = main(
+        [
+            *SIM_ARGS,
+            "--seed",
+            "7",
+            "--epoch",
+            "300",
+            "--metrics",
+            str(metrics_dir),
+            "--trace",
+            str(trace_path),
+            "--profile",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert (metrics_dir / "epochs.csv").is_file()
+    assert (metrics_dir / "metrics.json").is_file()
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    assert out.count("wrote ") >= 8  # 7 metric files + the trace
+    assert "function calls" in out  # cProfile report printed
 
 
 def test_check_single_family_passes(capsys):

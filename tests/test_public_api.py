@@ -23,6 +23,7 @@ def test_all_names_resolve():
         "repro.circuits",
         "repro.cost",
         "repro.sim",
+        "repro.telemetry",
         "repro.energy",
         "repro.exps",
         "repro.viz",

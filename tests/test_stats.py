@@ -86,6 +86,32 @@ def test_percentiles():
         stats.latency_percentile(0)
 
 
+def test_percentile_bounds_and_single_sample():
+    stats = Stats()
+    packet = delivered_packet(arrive=37)
+    stats.note_packet_injected(packet)
+    stats.note_packet_delivered(packet, 37)
+    # With n=1, every percentile collapses to the one observation.
+    for pct in (0.1, 1, 50, 99, 100):
+        assert stats.latency_percentile(pct) == pytest.approx(37)
+    for bad in (0, -1, 100.5, 101):
+        with pytest.raises(ValueError, match="pct"):
+            stats.latency_percentile(bad)
+
+
+def test_percentile_interpolation_boundaries():
+    stats = Stats()
+    for arrive in (10, 20):
+        packet = delivered_packet(arrive=arrive)
+        stats.note_packet_injected(packet)
+        stats.note_packet_delivered(packet, arrive)
+    # Ceil-rank convention: the 50th percentile of {10, 20} is the first
+    # order statistic; anything above 50 moves to the second.
+    assert stats.latency_percentile(50) == pytest.approx(10)
+    assert stats.latency_percentile(50.1) == pytest.approx(20)
+    assert stats.latency_percentile(100) == pytest.approx(20)
+
+
 def test_throughput():
     stats = Stats()
     packet = delivered_packet(length=8)
@@ -94,6 +120,13 @@ def test_throughput():
     assert stats.throughput(n_nodes=4, measured_cycles=10) == pytest.approx(0.2)
     with pytest.raises(ValueError):
         stats.throughput(0, 10)
+
+
+def test_throughput_rejects_nonpositive_windows():
+    stats = Stats()
+    for n_nodes, cycles in ((0, 10), (-4, 10), (4, 0), (4, -1)):
+        with pytest.raises(ValueError, match="positive"):
+            stats.throughput(n_nodes, cycles)
 
 
 def test_progress_tracking():
@@ -110,6 +143,15 @@ def test_summary_keys():
     assert "avg_latency" in summary
     assert "avg_energy_pj" in summary
     assert "p99_latency" in summary
+
+
+def test_summary_empty_run_is_nan_with_integer_counters():
+    summary = Stats().summary()
+    assert summary["packets_delivered"] == 0
+    assert isinstance(summary["packets_delivered"], int)
+    for key, value in summary.items():
+        if key != "packets_delivered":
+            assert math.isnan(value), key
 
 
 def test_deadlock_error_message():

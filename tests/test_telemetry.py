@@ -1,0 +1,379 @@
+"""Tests for the telemetry subsystem: bus, collectors, trace, session."""
+
+import io
+import json
+
+import pytest
+
+from repro.noc.channel import ChannelKind
+from repro.noc.flit import Packet
+from repro.telemetry import (
+    EVENT_NAMES,
+    NULL_BUS,
+    ChromeTraceBuilder,
+    EpochMetrics,
+    ProgressReporter,
+    TelemetryBus,
+    TelemetryConfig,
+)
+from repro.viz import timeseries_heatmap
+
+from .helpers import build_chain, run_cycles
+
+
+# -- bus semantics ----------------------------------------------------------
+def test_fresh_bus_is_zero_cost():
+    bus = TelemetryBus()
+    for name in EVENT_NAMES:
+        assert getattr(bus, name) is None
+        assert not bus.active(name)
+
+
+def test_single_subscriber_binds_directly():
+    bus = TelemetryBus()
+    calls = []
+    callback = bus.subscribe("cycle_end", lambda network, now: calls.append(now))
+    assert bus.cycle_end is callback  # no dispatch wrapper for one listener
+    bus.cycle_end(None, 7)
+    assert calls == [7]
+    bus.unsubscribe("cycle_end", callback)
+    assert bus.cycle_end is None
+
+
+def test_fanout_preserves_subscription_order():
+    bus = TelemetryBus()
+    calls = []
+    first = bus.subscribe("packet_inject", lambda *a: calls.append("first"))
+    second = bus.subscribe("packet_inject", lambda *a: calls.append("second"))
+    assert bus.subscriber_count("packet_inject") == 2
+    bus.packet_inject(None, None)
+    assert calls == ["first", "second"]
+    bus.unsubscribe("packet_inject", first)
+    assert bus.packet_inject is second
+    bus.unsubscribe("packet_inject", second)
+    assert bus.packet_inject is None
+
+
+def test_unknown_event_rejected():
+    bus = TelemetryBus()
+    with pytest.raises(ValueError, match="unknown telemetry event"):
+        bus.subscribe("no_such_event", lambda: None)
+
+
+def test_unsubscribe_absent_callback_is_noop():
+    bus = TelemetryBus()
+    bus.unsubscribe("cycle_end", lambda: None)
+    assert bus.cycle_end is None
+
+
+def test_clear_drops_everything():
+    bus = TelemetryBus()
+    bus.subscribe("cycle_end", lambda *a: None)
+    bus.subscribe("flit_send", lambda *a: None)
+    bus.clear()
+    for name in EVENT_NAMES:
+        assert getattr(bus, name) is None
+
+
+def test_inert_bus_rejects_subscription():
+    with pytest.raises(RuntimeError, match="inert"):
+        NULL_BUS.subscribe("cycle_end", lambda *a: None)
+
+
+# -- event emission on real networks ----------------------------------------
+def test_chain_emits_lifecycle_events():
+    network, _stats = build_chain(3)
+    counts = {name: 0 for name in EVENT_NAMES}
+    for name in EVENT_NAMES:
+        network.telemetry.subscribe(
+            name, lambda *a, _n=name: counts.__setitem__(_n, counts[_n] + 1)
+        )
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 50)
+    assert counts["packet_inject"] == 1
+    assert counts["packet_eject"] == 1
+    assert counts["cycle_end"] == 50
+    # 4 flits cross two links each; every hop is one accept + one recv.
+    assert counts["link_accept"] == 8
+    assert counts["flit_recv"] == 8
+    # flit_send also covers ejection port traversals (2 links + eject).
+    assert counts["flit_send"] == 12
+    assert counts["credit_return"] == 8
+    assert counts["phy_dispatch"] == 0  # no hetero-PHY links in the chain
+
+
+def test_hetero_phy_chain_emits_phy_and_rob_events():
+    network, _stats = build_chain(2, ChannelKind.HETERO_PHY)
+    events = {"phy_dispatch": [], "rob_insert": [], "rob_release": []}
+    bus = network.telemetry
+    bus.subscribe("phy_dispatch", lambda link, f, vc, phy, now: events["phy_dispatch"].append(phy))
+    bus.subscribe("rob_insert", lambda link, f, vc, now: events["rob_insert"].append(f))
+    bus.subscribe("rob_release", lambda link, f, vc, now: events["rob_release"].append(f))
+    network.inject(Packet(0, 1, 4, 0))
+    run_cycles(network, 60)
+    assert len(events["phy_dispatch"]) == 4
+    assert set(events["phy_dispatch"]) <= {"P", "S"}
+    # Every flit passes the reorder buffer in and out exactly once.
+    assert len(events["rob_insert"]) == 4
+    assert len(events["rob_release"]) == 4
+
+
+def test_detached_probe_restores_fast_path():
+    network, _stats = build_chain(2)
+    seen = []
+    callback = network.telemetry.subscribe("link_accept", lambda *a: seen.append(a))
+    network.inject(Packet(0, 1, 2, 0))
+    run_cycles(network, 20)
+    assert seen
+    network.telemetry.unsubscribe("link_accept", callback)
+    count = len(seen)
+    network.inject(Packet(0, 1, 2, 20))
+    run_cycles(network, 20, start=20)
+    assert len(seen) == count  # nothing recorded after detach
+    assert network.telemetry.link_accept is None
+
+
+# -- epoch metrics ----------------------------------------------------------
+def test_epoch_metrics_boundaries_and_conservation():
+    network, stats = build_chain(3)
+    metrics = EpochMetrics(network, epoch_length=10)
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 25)
+    metrics.finish(25)
+    samples = metrics.epochs()
+    assert [(s.start, s.end) for s in samples] == [(0, 10), (10, 20), (20, 25)]
+    assert sum(s.flits_injected for s in samples) == stats.flits_injected
+    carried = {}
+    for sample in samples:
+        for index, flits in sample.link_flits.items():
+            carried[index] = carried.get(index, 0) + flits
+    assert carried == {
+        index: link.flits_carried
+        for index, link in enumerate(network.links)
+        if link.flits_carried
+    }
+    assert metrics.totals()["packets_delivered"] == stats.packets_delivered
+
+
+def test_epoch_metrics_warmup_exclusion():
+    network, _stats = build_chain(2)
+    metrics = EpochMetrics(network, epoch_length=10, warmup=15)
+    run_cycles(network, 30)
+    metrics.finish(30)
+    flagged = metrics.epochs(include_warmup=True)
+    assert [s.warmup for s in flagged] == [True, True, False]
+    measured = metrics.epochs()
+    assert [s.start for s in measured] == [20]
+    assert metrics.totals()["epochs"] == 1
+    assert metrics.totals(include_warmup=True)["epochs"] == 3
+
+
+def test_epoch_metrics_credit_stall_accumulation():
+    network, _stats = build_chain(2)
+    metrics = EpochMetrics(network, epoch_length=10)
+    router = network.routers[0]
+    for now in (3, 4, 5):
+        network.telemetry.credit_stall(router, 1, 0, now)
+    run_cycles(network, 10)
+    metrics.finish(10)
+    [sample] = metrics.epochs()
+    assert sample.credit_stalls == {(0, 1, 0): 3}
+    assert metrics.totals()["credit_stall_cycles"] == 3
+
+
+def test_epoch_metrics_validates_epoch_length():
+    network, _stats = build_chain(2)
+    with pytest.raises(ValueError, match="epoch_length"):
+        EpochMetrics(network, epoch_length=0)
+
+
+def test_epoch_metrics_write_and_link_series(tmp_path):
+    network, _stats = build_chain(3)
+    metrics = EpochMetrics(network, epoch_length=10)
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 30)
+    metrics.finish(30)
+    written = metrics.write(tmp_path)
+    names = {path.name for path in written}
+    assert names == {
+        "epochs.csv",
+        "link_util.csv",
+        "buffer_occupancy.csv",
+        "credit_stalls.csv",
+        "rob.csv",
+        "phy_split.csv",
+        "metrics.json",
+    }
+    document = json.loads((tmp_path / "metrics.json").read_text())
+    assert document["epoch_length"] == 10
+    assert len(document["epochs"]) == 3
+    labels, rows = metrics.link_series(top=5)
+    assert labels and rows
+    art = timeseries_heatmap(labels, rows, epoch_length=10)
+    assert labels[0] in art
+    assert "3 epochs" in art
+
+
+# -- chrome trace export -----------------------------------------------------
+def test_trace_records_packet_lane(tmp_path):
+    network, _stats = build_chain(3)
+    trace = ChromeTraceBuilder(network, counter_interval=10)
+    packet = Packet(0, 2, 4, 0)
+    network.inject(packet)
+    run_cycles(network, 40)
+    trace.detach()
+    document = trace.to_dict()
+    events = document["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert phases >= {"M", "X", "i", "C"}
+    hops = [e for e in events if e["ph"] == "X" and e.get("cat") == "hop"]
+    assert len(hops) == 2  # two links in the chain
+    lifetimes = [e for e in events if e["ph"] == "X" and e.get("cat") == "packet"]
+    assert len(lifetimes) == 1
+    assert lifetimes[0]["dur"] > 0
+    path = trace.write(tmp_path / "trace.json")
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_trace_caps_sampled_packets():
+    network, _stats = build_chain(2)
+    trace = ChromeTraceBuilder(network, max_packets=1, counter_interval=0)
+    network.inject(Packet(0, 1, 2, 0))
+    network.inject(Packet(0, 1, 2, 0))
+    run_cycles(network, 30)
+    trace.detach()
+    assert trace.to_dict()["otherData"]["sampled_packets"] == 1
+
+
+def test_trace_sample_predicate():
+    network, _stats = build_chain(2)
+    trace = ChromeTraceBuilder(
+        network, sample=lambda packet: packet.dst == 99, counter_interval=0
+    )
+    network.inject(Packet(0, 1, 2, 0))
+    run_cycles(network, 30)
+    trace.detach()
+    assert trace.to_dict()["otherData"]["sampled_packets"] == 0
+
+
+# -- progress reporter -------------------------------------------------------
+def test_progress_reporter_writes_status_line():
+    network, _stats = build_chain(2)
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        network, every_cycles=10, stream=stream, total_cycles=30
+    )
+    network.inject(Packet(0, 1, 2, 0))
+    run_cycles(network, 30)
+    reporter.close()
+    text = stream.getvalue()
+    assert reporter.updates == 3
+    assert "cycle" in text and "cyc/s" in text and "in-flight" in text
+    assert text.endswith("\n")
+    reporter.close()  # idempotent
+    assert network.telemetry.cycle_end is None
+
+
+def test_progress_reporter_validates_interval():
+    network, _stats = build_chain(2)
+    with pytest.raises(ValueError, match="every_cycles"):
+        ProgressReporter(network, every_cycles=0)
+
+
+# -- end-to-end through the harness ------------------------------------------
+def test_run_synthetic_telemetry_session(tmp_path, small_grid):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import run_synthetic
+    from repro.topology.system import build_system
+
+    spec = build_system("hetero_phy_torus", small_grid, SimConfig(
+        sim_cycles=2_000, warmup_cycles=200
+    ))
+    config = TelemetryConfig(
+        metrics_dir=tmp_path / "metrics",
+        trace_path=tmp_path / "trace.json",
+        epoch_length=400,
+        profile=True,
+    )
+    result = run_synthetic(spec, "uniform", 0.05, telemetry=config)
+    session = result.telemetry
+    assert session is not None
+    assert (tmp_path / "metrics" / "epochs.csv").is_file()
+    assert json.loads((tmp_path / "trace.json").read_text())["traceEvents"]
+    assert "function calls" in session.profile_text
+    # Warm-up exclusion: the first epoch (start 0 < 200) is flagged.
+    flagged = session.metrics.epochs(include_warmup=True)
+    assert flagged[0].warmup and not flagged[-1].warmup
+    # PHY split shows up for the hetero family and matches the run total.
+    split = [
+        sum(values) for values in zip(
+            *(epoch_split
+              for sample in flagged
+              for epoch_split in sample.phy_split.values())
+        )
+    ]
+    assert sum(split) == sum(result.phy_split) + sum(
+        getattr(link, "flits_bypassed", 0) for link in session.network.links
+    )
+    # Finalize detached everything: the bus is back to the fast path.
+    for name in EVENT_NAMES:
+        assert getattr(session.network.telemetry, name) is None
+
+
+def test_run_trace_telemetry_session(tmp_path, small_grid):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import run_trace
+    from repro.topology.system import build_system
+    from repro.traffic.trace import Trace, TraceRecord
+
+    spec = build_system("hetero_phy_torus", small_grid, SimConfig(
+        sim_cycles=1_200, warmup_cycles=200
+    ))
+    records = [TraceRecord(t, 0, 35, 8) for t in range(0, 200, 20)]
+    config = TelemetryConfig(metrics_dir=tmp_path, epoch_length=100)
+    result = run_trace(spec, Trace(records, name="t"), telemetry=config)
+    assert result.stats.packets_delivered == len(records)
+    session = result.telemetry
+    assert session is not None
+    assert (tmp_path / "epochs.csv").is_file()
+    # The trace drained early; the final partial epoch ends at the stop cycle.
+    assert session.metrics.epochs(include_warmup=True)[-1].end == result.cycles
+
+
+def test_run_synthetic_without_telemetry_has_none():
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import run_synthetic
+    from repro.topology.grid import ChipletGrid
+    from repro.topology.system import build_system
+
+    grid = ChipletGrid(2, 2, 2, 2)
+    spec = build_system("parallel_mesh", grid, SimConfig(
+        sim_cycles=600, warmup_cycles=60
+    ))
+    result = run_synthetic(spec, "uniform", 0.05)
+    assert result.telemetry is None
+
+
+def test_engine_run_profiled_reports():
+    from repro.sim.engine import Engine
+
+    network, stats = build_chain(3)
+
+    class Once:
+        def __init__(self):
+            self.sent = False
+
+        def step(self, now):
+            if not self.sent:
+                self.sent = True
+                return [Packet(0, 2, 4, now)]
+            return []
+
+        def done(self, now):
+            return self.sent
+
+    engine = Engine(network, Once(), stats)
+    result, report = engine.run_profiled(50)
+    assert result is stats
+    assert stats.packets_delivered == 1
+    assert "function calls" in report
