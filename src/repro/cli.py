@@ -10,11 +10,19 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro simulate --metrics out/ --trace run.json --epoch 500 --profile
     repro check --all                  # statically verify every family
     repro check --family serial_torus --mode wormhole
+    repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
+    repro compare BENCH_0.json BENCH_1.json --strict
+    repro dashboard --out dashboard.html
 
 Output is the plain-text table of the experiment (add ``--csv`` for CSV).
 ``repro check`` prints one findings report per verified system and exits
 non-zero if any report contains an error — the CI deadlock/livelock/lint
 gate (see docs/analysis.md).
+
+Every ``repro run`` / ``repro simulate`` appends one structured record to
+the append-only run registry (``runs/runs.jsonl`` by default; ``--runs-dir``
+to relocate, ``--no-record`` to skip) so results stay attributable to a
+config hash, git revision and seed — see docs/perf.md.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.sim.config import SimConfig
 from repro.sim.experiment import run_synthetic
@@ -47,30 +56,64 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.exps import EXPERIMENTS
+    from repro.telemetry.runstore import (
+        RunRecord,
+        RunStore,
+        config_digest,
+        git_revision,
+        new_run_id,
+        utc_now_iso,
+    )
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    store = None if args.no_record else RunStore(args.runs_dir)
+    git_rev = git_revision() if store else "unknown"
     for name in names:
-        start = time.time()
+        start = time.perf_counter()
         result = EXPERIMENTS[name](args.scale)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         if args.csv:
             print(result.to_csv())
         else:
             print(result)
             print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+        if store is not None:
+            store.append(
+                RunRecord(
+                    run_id=new_run_id(),
+                    created=utc_now_iso(),
+                    kind="experiment",
+                    label=name,
+                    scale=args.scale,
+                    config_hash=config_digest(
+                        {"experiment": name, "scale": args.scale}
+                    ),
+                    git_rev=git_rev,
+                    wall_seconds=elapsed,
+                    extras={"rows": float(len(result.rows))},
+                )
+            )
         print()
     return 0
 
 
-def _cmd_report(args) -> int:
-    from pathlib import Path
+def _require_results_dir(results_dir: Path) -> Path:
+    if not results_dir.is_dir() or not any(results_dir.glob("*.csv")):
+        raise SystemExit(
+            f"no benchmark CSVs in {results_dir}/ — regenerate them with "
+            "`pytest benchmarks/ --benchmark-only` (or pass --results-dir)"
+        )
+    return results_dir
 
+
+def _cmd_report(args) -> int:
     from repro.exps.report import summarize
 
-    print(summarize(Path(args.results_dir), args.scale))
+    results_dir = _require_results_dir(Path(args.results_dir))
+    print(summarize(results_dir, args.scale))
     return 0
 
 
@@ -113,12 +156,94 @@ def _cmd_simulate(args) -> int:
     par, ser = result.phy_split
     if par or ser:
         print(f"hetero-PHY flit split     : parallel {par}, serial {ser}")
+    artifacts: dict[str, str] = {}
+    if args.metrics:
+        artifacts["metrics_dir"] = str(args.metrics)
+    if args.trace:
+        artifacts["trace"] = str(args.trace)
     if result.telemetry is not None:
         for path in result.telemetry.written:
             print(f"wrote {path}")
-        if result.telemetry.profile_text:
-            print()
-            print(result.telemetry.profile_text.rstrip())
+    telemetry_enabled = bool(artifacts)
+    if not args.no_record:
+        from repro.telemetry.runstore import RunStore, record_from_result
+
+        store = RunStore(args.runs_dir)
+        record = record_from_result(
+            result, kind="simulate", label=args.family, artifacts=artifacts
+        )
+        record_path = store.append(record)
+        artifacts["record"] = f"{record_path}#{record.run_id}"
+    if telemetry_enabled:
+        # One-line manifest so nobody has to re-read the flags to find
+        # where this run's outputs went.  Plain runs stay manifest-free so
+        # same-seed invocations print byte-identical output.
+        manifest = " ".join(f"{key}={value}" for key, value in artifacts.items())
+        print(f"artifacts : {manifest}")
+    if result.telemetry is not None and result.telemetry.profile_text:
+        print()
+        print(result.telemetry.profile_text.rstrip())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.telemetry.bench import CASES, render_bench, run_bench, write_bench
+
+    cases = None
+    if args.case:
+        by_name = {case.name: case for case in CASES}
+        unknown = [name for name in args.case if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown bench case(s): {', '.join(unknown)}; "
+                f"known: {', '.join(by_name)}"
+            )
+        cases = [by_name[name] for name in args.case]
+    doc = run_bench(scale=args.scale, reps=args.reps, seed=args.seed, cases=cases)
+    path = write_bench(doc, args.out_dir)
+    print(render_bench(doc))
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.telemetry.compare import (
+        compare_paths,
+        regressions,
+        render_comparison,
+    )
+    from repro.telemetry.runstore import RunStoreError
+
+    try:
+        verdicts = compare_paths(
+            args.a, args.b, rel_floor=args.rel_floor, k=args.k
+        )
+    except (FileNotFoundError, ValueError, RunStoreError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        render_comparison(
+            verdicts, label_a=Path(args.a).name, label_b=Path(args.b).name
+        )
+    )
+    if args.strict and regressions(verdicts):
+        return 1
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.telemetry.dashboard import DashboardError, write_dashboard
+
+    try:
+        path = write_dashboard(
+            args.out,
+            args.results_dir,
+            scale=args.scale,
+            bench_dirs=args.bench_dir,
+            runs_dir=args.runs_dir,
+        )
+    except DashboardError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"wrote {path}")
     return 0
 
 
@@ -160,10 +285,23 @@ def main(argv: list[str] | None = None) -> int:
         func=_cmd_list
     )
 
+    def add_record_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runs-dir",
+            default="runs",
+            help="run-registry directory (default: runs/)",
+        )
+        p.add_argument(
+            "--no-record",
+            action="store_true",
+            help="do not append a record to the run registry",
+        )
+
     run_p = sub.add_parser("run", help="run a paper experiment (or 'all')")
     run_p.add_argument("experiment")
     run_p.add_argument("--scale", choices=("tiny", "small", "paper"), default="small")
     run_p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    add_record_args(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     report_p = sub.add_parser(
@@ -225,7 +363,74 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="show a live progress line on stderr while simulating",
     )
+    add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the standardized perf suite and write BENCH_<n>.json",
+    )
+    bench_p.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="tiny"
+    )
+    bench_p.add_argument(
+        "--reps", type=int, default=5, help="timed repetitions per case (default: 5)"
+    )
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the suite to one case (repeatable)",
+    )
+    bench_p.add_argument(
+        "--out-dir", default=".", help="where BENCH_<n>.json goes (default: .)"
+    )
+    bench_p.set_defaults(func=_cmd_bench)
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="noise-aware diff of two bench files or run records",
+    )
+    cmp_p.add_argument("a", help="baseline: BENCH_<n>.json, record JSON or runs.jsonl")
+    cmp_p.add_argument("b", help="candidate (same kind as the baseline)")
+    cmp_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any metric regressed (default: warn only)",
+    )
+    cmp_p.add_argument(
+        "--rel-floor",
+        type=float,
+        default=0.05,
+        help="relative floor below which a delta is noise (default: 0.05)",
+    )
+    cmp_p.add_argument(
+        "--k",
+        type=float,
+        default=1.5,
+        help="IQR multiplier of the noise threshold (default: 1.5)",
+    )
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    dash_p = sub.add_parser(
+        "dashboard",
+        help="render the static paper-figure + perf HTML dashboard",
+    )
+    dash_p.add_argument("--out", default="dashboard.html")
+    dash_p.add_argument("--results-dir", default="benchmarks/results")
+    dash_p.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="tiny"
+    )
+    dash_p.add_argument(
+        "--bench-dir",
+        action="append",
+        default=None,
+        help="directories scanned for BENCH_<n>.json (repeatable; default: .)",
+    )
+    dash_p.add_argument("--runs-dir", default="runs")
+    dash_p.set_defaults(func=_cmd_dashboard)
 
     check_p = sub.add_parser(
         "check",

@@ -9,12 +9,14 @@ latency-vs-injection figure).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.phy import HeteroPhyLink
 from repro.noc.network import Network
 from repro.telemetry import TelemetryConfig, TelemetrySession
+from repro.telemetry.runstore import system_digest
 from repro.topology.system import SystemSpec
 from repro.traffic.injection import SyntheticWorkload
 from repro.traffic.patterns import make_pattern
@@ -39,10 +41,24 @@ class RunResult:
     extras: dict[str, float] = field(default_factory=dict)
     #: Finalized telemetry session (set when ``telemetry=`` was requested).
     telemetry: Optional[TelemetrySession] = None
+    #: Workload RNG seed (None for trace replays).
+    seed: Optional[int] = None
+    #: Wall-clock seconds the engine spent simulating (excludes build).
+    wall_seconds: float = math.nan
+    #: Digest of system + config + workload + policy (see
+    #: :func:`repro.telemetry.runstore.system_digest`).
+    config_hash: str = ""
 
     @property
     def avg_latency(self) -> float:
         return self.stats.avg_latency
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulation throughput in simulated cycles per wall-clock second."""
+        if math.isnan(self.wall_seconds) or self.wall_seconds <= 0:
+            return math.nan
+        return self.cycles / self.wall_seconds
 
     @property
     def avg_energy_pj(self) -> float:
@@ -102,23 +118,30 @@ def run_synthetic(
         session = TelemetrySession.attach(
             network, telemetry, warmup=warmup, total_cycles=cycles
         )
+    start = time.perf_counter()
     if session is not None and telemetry is not None and telemetry.profile:
         _, session.profile_text = engine.run_profiled(
             cycles, top=telemetry.profile_top
         )
     else:
         engine.run(cycles)
+    wall_seconds = time.perf_counter() - start
     if session is not None:
         session.finalize(engine.cycle)
+    workload_name = f"{pattern}@{rate:g}"
+    resolved_policy = policy or config.scheduling_policy
     return RunResult(
         system=spec.name,
-        workload=f"{pattern}@{rate:g}",
-        policy=policy or config.scheduling_policy,
+        workload=workload_name,
+        policy=resolved_policy,
         n_nodes=spec.grid.n_nodes,
         cycles=cycles,
         stats=stats,
         phy_split=_collect_phy_split(network),
         telemetry=session,
+        seed=seed,
+        wall_seconds=wall_seconds,
+        config_hash=system_digest(spec, workload=workload_name, policy=resolved_policy),
     )
 
 
@@ -149,6 +172,7 @@ def run_trace(
         session = TelemetrySession.attach(
             network, telemetry, warmup=warmup, total_cycles=None
         )
+    start = time.perf_counter()
     try:
         if session is not None and telemetry is not None and telemetry.profile:
             _, session.profile_text = engine.run_profiled(
@@ -160,17 +184,21 @@ def run_trace(
         if strict:
             raise
     finally:
+        wall_seconds = time.perf_counter() - start
         if session is not None:
             session.finalize(engine.cycle)
+    resolved_policy = policy or spec.config.scheduling_policy
     return RunResult(
         system=spec.name,
         workload=trace.name,
-        policy=policy or spec.config.scheduling_policy,
+        policy=resolved_policy,
         n_nodes=spec.grid.n_nodes,
         cycles=engine.cycle,
         stats=stats,
         phy_split=_collect_phy_split(network),
         telemetry=session,
+        wall_seconds=wall_seconds,
+        config_hash=system_digest(spec, workload=trace.name, policy=resolved_policy),
     )
 
 

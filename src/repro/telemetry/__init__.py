@@ -11,28 +11,57 @@
   status line for long runs (``repro.telemetry.progress``);
 * :class:`TelemetryConfig` / :class:`TelemetrySession` — one-call
   attachment used by ``run_synthetic`` / ``run_trace`` and the
-  ``repro simulate`` CLI (``repro.telemetry.session``).
+  ``repro simulate`` CLI (``repro.telemetry.session``);
+* :class:`RunStore` / :class:`RunRecord` — the append-only cross-run
+  registry under ``runs/`` (``repro.telemetry.runstore``);
+* :mod:`repro.telemetry.bench` / :mod:`repro.telemetry.compare` /
+  :mod:`repro.telemetry.dashboard` — the ``repro bench`` perf suite,
+  the noise-aware regression diff, and the static HTML dashboard
+  (see ``docs/perf.md``).
 
 Import note: ``repro.noc`` imports :mod:`repro.telemetry.bus` at module
 load, so this package initializer must stay free of ``repro.noc`` imports;
 collector submodules only reference simulator types under
-``typing.TYPE_CHECKING``.
+``typing.TYPE_CHECKING``, and the bench/dashboard modules import the
+simulator inside functions only.
 """
 
+from .bench import BENCH_SCHEMA_VERSION, EventCounters, run_bench, write_bench
 from .bus import EVENT_NAMES, NULL_BUS, TelemetryBus
+from .compare import MetricVerdict, compare_bench, compare_records, compare_paths
 from .metrics import EpochMetrics, EpochSample
 from .progress import ProgressReporter
+from .runstore import (
+    RUN_SCHEMA_VERSION,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    record_from_result,
+)
 from .session import TelemetryConfig, TelemetrySession
 from .trace import ChromeTraceBuilder
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "EVENT_NAMES",
     "NULL_BUS",
+    "RUN_SCHEMA_VERSION",
     "TelemetryBus",
     "EpochMetrics",
     "EpochSample",
+    "EventCounters",
+    "MetricVerdict",
     "ProgressReporter",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
     "TelemetryConfig",
     "TelemetrySession",
     "ChromeTraceBuilder",
+    "compare_bench",
+    "compare_paths",
+    "compare_records",
+    "record_from_result",
+    "run_bench",
+    "write_bench",
 ]

@@ -1,0 +1,279 @@
+"""Noise-aware comparison of bench files and run records (``repro compare``).
+
+Simulator throughput jitters run to run, so a naive A/B diff flags noise
+as regressions.  Every metric is judged against a threshold of
+
+    ``max(rel_floor * |baseline|, k * IQR)``
+
+where the IQR comes from the bench repetitions (zero for single run
+records).  A metric moves past the threshold in the wrong direction →
+``regressed``; in the right direction → ``improved``; otherwise
+``noise``.  ``repro compare`` prints one verdict per metric and exits
+non-zero only under ``--strict`` (the warn-only CI gate of
+``docs/perf.md``).
+
+Pure stdlib; knows nothing about the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from .bench import load_bench
+from .runstore import RunRecord, RunStore, RunStoreError
+
+#: Default relative floor under which a delta is noise regardless of IQR.
+DEFAULT_REL_FLOOR = 0.05
+#: Default IQR multiplier of the noise threshold.
+DEFAULT_IQR_K = 1.5
+
+
+@dataclass
+class MetricVerdict:
+    """The comparison outcome for one metric of one case."""
+
+    case: str
+    metric: str
+    a: float
+    b: float
+    threshold: float
+    higher_is_better: bool
+    #: ``"improved"``, ``"regressed"``, ``"noise"`` or ``"n/a"``.
+    verdict: str
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def rel_delta(self) -> float:
+        if self.a == 0 or math.isnan(self.a) or math.isnan(self.b):
+            return math.nan
+        return (self.b - self.a) / abs(self.a)
+
+
+def classify(
+    case: str,
+    metric: str,
+    a: float,
+    b: float,
+    *,
+    higher_is_better: bool,
+    iqr: float = 0.0,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    k: float = DEFAULT_IQR_K,
+) -> MetricVerdict:
+    """Judge one metric pair against the noise threshold."""
+    if math.isnan(a) or math.isnan(b):
+        verdict = "n/a"
+        threshold = math.nan
+    else:
+        threshold = max(rel_floor * abs(a), k * (iqr if not math.isnan(iqr) else 0.0))
+        delta = b - a
+        if abs(delta) <= threshold:
+            verdict = "noise"
+        elif (delta > 0) == higher_is_better:
+            verdict = "improved"
+        else:
+            verdict = "regressed"
+    return MetricVerdict(
+        case=case,
+        metric=metric,
+        a=a,
+        b=b,
+        threshold=threshold,
+        higher_is_better=higher_is_better,
+        verdict=verdict,
+    )
+
+
+def compare_bench(
+    a: dict[str, Any],
+    b: dict[str, Any],
+    *,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    k: float = DEFAULT_IQR_K,
+) -> list[MetricVerdict]:
+    """Per-case, per-metric verdicts between two bench documents.
+
+    Cases present in only one document are skipped.  Event counts are
+    deterministic for a fixed seed, so they use the relative floor alone
+    (a count drift beyond it means the simulated work itself changed).
+    """
+    verdicts: list[MetricVerdict] = []
+    cases_a = a.get("cases", {})
+    cases_b = b.get("cases", {})
+    for name in cases_a:
+        if name not in cases_b:
+            continue
+        ca, cb = cases_a[name], cases_b[name]
+        verdicts.append(
+            classify(
+                name,
+                "cycles_per_second",
+                ca["cps"]["median"],
+                cb["cps"]["median"],
+                higher_is_better=True,
+                iqr=max(ca["cps"]["iqr"], cb["cps"]["iqr"]),
+                rel_floor=rel_floor,
+                k=k,
+            )
+        )
+        verdicts.append(
+            classify(
+                name,
+                "wall_seconds",
+                ca["wall_s"]["median"],
+                cb["wall_s"]["median"],
+                higher_is_better=False,
+                iqr=max(ca["wall_s"]["iqr"], cb["wall_s"]["iqr"]),
+                rel_floor=rel_floor,
+                k=k,
+            )
+        )
+        events_a = ca.get("events", {})
+        events_b = cb.get("events", {})
+        for event in sorted(set(events_a) | set(events_b)):
+            verdicts.append(
+                classify(
+                    name,
+                    f"events.{event}",
+                    float(events_a.get(event, 0)),
+                    float(events_b.get(event, 0)),
+                    higher_is_better=False,
+                    iqr=0.0,
+                    rel_floor=rel_floor,
+                    k=k,
+                )
+            )
+    return verdicts
+
+
+#: Run-record metrics compared by :func:`compare_records`.
+_RECORD_METRICS: tuple[tuple[str, bool], ...] = (
+    ("cycles_per_second", True),
+    ("wall_seconds", False),
+    ("stats.avg_latency", False),
+    ("stats.delivered_fraction", True),
+    ("stats.avg_energy_pj", False),
+)
+
+
+def _record_metric(record: RunRecord, dotted: str) -> float:
+    if dotted.startswith("stats."):
+        value = record.stats.get(dotted[len("stats."):], math.nan)
+    else:
+        value = getattr(record, dotted, math.nan)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return math.nan
+
+
+def compare_records(
+    a: RunRecord,
+    b: RunRecord,
+    *,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    k: float = DEFAULT_IQR_K,
+) -> list[MetricVerdict]:
+    """Verdicts between two run records (no repetition IQR available)."""
+    case = a.label or a.workload or "run"
+    return [
+        classify(
+            case,
+            metric,
+            _record_metric(a, metric),
+            _record_metric(b, metric),
+            higher_is_better=higher_is_better,
+            iqr=0.0,
+            rel_floor=rel_floor,
+            k=k,
+        )
+        for metric, higher_is_better in _RECORD_METRICS
+    ]
+
+
+def load_comparable(path: str | Path) -> tuple[str, Any]:
+    """Load ``path`` as ``("bench", doc)`` or ``("record", RunRecord)``.
+
+    Accepts a ``BENCH_<n>.json`` file, a single-record JSON file, or a
+    ``runs.jsonl`` store (the latest record is used).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no such file: {path}")
+    if path.suffix == ".jsonl":
+        latest = RunStore(path.parent).latest(1)
+        if not latest:
+            raise RunStoreError(f"{path}: run store holds no readable records")
+        return "record", latest[0]
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(doc, dict) and "cases" in doc:
+        return "bench", load_bench(path)
+    if isinstance(doc, dict) and "stats" in doc:
+        return "record", RunRecord.from_dict(doc)
+    raise ValueError(f"{path}: neither a bench document nor a run record")
+
+
+def compare_paths(
+    path_a: str | Path,
+    path_b: str | Path,
+    *,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    k: float = DEFAULT_IQR_K,
+) -> list[MetricVerdict]:
+    """Compare two files of matching type (bench/bench or record/record)."""
+    kind_a, a = load_comparable(path_a)
+    kind_b, b = load_comparable(path_b)
+    if kind_a != kind_b:
+        raise ValueError(
+            f"cannot compare a {kind_a} ({path_a}) against a {kind_b} ({path_b})"
+        )
+    if kind_a == "bench":
+        return compare_bench(a, b, rel_floor=rel_floor, k=k)
+    return compare_records(a, b, rel_floor=rel_floor, k=k)
+
+
+def regressions(verdicts: list[MetricVerdict]) -> list[MetricVerdict]:
+    return [v for v in verdicts if v.verdict == "regressed"]
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "n/a"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_comparison(
+    verdicts: list[MetricVerdict], *, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Aligned text report of the verdict list."""
+    if not verdicts:
+        return "no overlapping cases/metrics to compare"
+    marks = {"improved": "+", "regressed": "!", "noise": "=", "n/a": "?"}
+    lines = [
+        f"{'case':>24s} {'metric':>26s} {label_a:>12s} {label_b:>12s} "
+        f"{'delta':>8s}  verdict"
+    ]
+    for v in verdicts:
+        rel = v.rel_delta
+        delta = "n/a" if math.isnan(rel) else f"{rel:+.1%}"
+        lines.append(
+            f"{v.case:>24s} {v.metric:>26s} {_fmt(v.a):>12s} {_fmt(v.b):>12s} "
+            f"{delta:>8s}  {marks[v.verdict]} {v.verdict}"
+        )
+    worst = regressions(verdicts)
+    summary = (
+        f"{len(worst)} regression(s), "
+        f"{sum(1 for v in verdicts if v.verdict == 'improved')} improvement(s), "
+        f"{sum(1 for v in verdicts if v.verdict == 'noise')} within noise"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

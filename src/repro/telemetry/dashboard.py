@@ -1,0 +1,308 @@
+"""Static paper-figure + perf dashboard (``repro dashboard``).
+
+Renders one self-contained HTML page — zero third-party imports, inline
+SVG via :func:`repro.viz.svg_line_chart` — with:
+
+* the Fig 11 latency-vs-load curves from ``benchmarks/results/*.csv``;
+* the paper-vs-measured agreement summary (``repro report``'s text);
+* the perf trajectory across every stored ``BENCH_<n>.json``;
+* the most recent entries of the ``runs/`` registry.
+
+The page carries its own light/dark palette as CSS custom properties
+(the chart SVGs reference ``var(--series-N)`` and ink/surface roles), so
+it respects ``prefers-color-scheme`` without any scripting.
+
+Import note: simulator modules are imported inside functions only (see
+the package initializer's import note).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from .bench import bench_files, load_bench
+from .runstore import RunRecord, RunStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exps.common import ExperimentResult
+
+
+class DashboardError(ValueError):
+    """The dashboard cannot be built (e.g. no benchmark results exist)."""
+
+
+_PAGE_STYLE = """
+:root {
+  color-scheme: light dark;
+}
+body.viz-root {
+  --surface-1: #fcfcfb;
+  --surface-2: #f4f3f1;
+  --grid: #e6e4df;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  margin: 0;
+  padding: 24px 32px 48px;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif;
+  max-width: 1080px;
+}
+@media (prefers-color-scheme: dark) {
+  body.viz-root {
+    --surface-1: #1a1a19;
+    --surface-2: #242423;
+    --grid: #383835;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+p.meta { color: var(--text-secondary); margin: 0 0 16px; }
+figure { margin: 0 0 12px; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { padding: 4px 10px; text-align: right; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+pre { background: var(--surface-2); padding: 12px; overflow-x: auto;
+      font-size: 12px; border-radius: 6px; }
+.empty { color: var(--text-secondary); font-style: italic; }
+"""
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return html.escape(str(value))
+
+
+def _find_results_csv(results_dir: Path, artifact: str, scale: str) -> Optional[Path]:
+    preferred = results_dir / f"{artifact}_{scale}.csv"
+    if preferred.is_file():
+        return preferred
+    fallbacks = sorted(results_dir.glob(f"{artifact}_*.csv"))
+    return fallbacks[0] if fallbacks else None
+
+
+def _fig11_section(results_dir: Path, scale: str) -> str:
+    from repro.exps.report import load_result
+    from repro.viz import svg_line_chart
+
+    path = _find_results_csv(results_dir, "fig11", scale)
+    if path is None:
+        return '<p class="empty">no fig11 CSV found — run the benchmark suite first.</p>'
+    result = load_result(path)
+    patterns = sorted(set(result.column("pattern")))
+    pattern = "uniform" if "uniform" in patterns else patterns[0]
+    series = []
+    for network in sorted(set(result.column("network"))):
+        rows = result.filtered(pattern=pattern, network=network)
+        rows.sort(key=lambda row: row[result.headers.index("rate")])
+        xs = [row[result.headers.index("rate")] for row in rows]
+        ys = [row[result.headers.index("avg_latency")] for row in rows]
+        series.append((network, xs, ys))
+    chart = svg_line_chart(
+        series,
+        title=f"Fig 11 — avg latency vs injection rate ({pattern}, {path.name})",
+        x_label="injection rate (flits/cycle/node)",
+        y_label="avg latency (cycles)",
+    )
+    return f"<figure>{chart}</figure>" + _result_table(result, pattern)
+
+
+def _result_table(result: "ExperimentResult", pattern: str) -> str:
+    rows = result.filtered(pattern=pattern)
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in result.headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_fmt(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        "<details><summary>data table</summary>"
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+        "</details>"
+    )
+
+
+def _agreement_section(results_dir: Path, scale: str) -> str:
+    from repro.exps.report import summarize
+
+    text = summarize(results_dir, scale)
+    return f"<pre>{html.escape(text)}</pre>"
+
+
+def _bench_section(bench_dirs: list[Path]) -> str:
+    from repro.viz import svg_line_chart
+
+    docs: list[tuple[str, dict[str, Any]]] = []
+    for directory in bench_dirs:
+        for path in bench_files(directory):
+            try:
+                docs.append((path.name, load_bench(path)))
+            except (ValueError, OSError):
+                continue
+    if not docs:
+        return (
+            '<p class="empty">no BENCH_*.json files found — '
+            "run <code>repro bench</code> first.</p>"
+        )
+    case_names: list[str] = []
+    for _, doc in docs:
+        for name in doc.get("cases", {}):
+            if name not in case_names:
+                case_names.append(name)
+    series = []
+    for name in case_names:
+        xs, ys = [], []
+        for index, (_, doc) in enumerate(docs):
+            case = doc.get("cases", {}).get(name)
+            if case:
+                xs.append(float(index))
+                ys.append(case["cps"]["median"])
+        series.append((name, xs, ys))
+    chart = svg_line_chart(
+        series,
+        title="simulator throughput across stored bench files",
+        x_label="bench file (index order)",
+        y_label="cycles / second (median)",
+        y_zero=True,
+    )
+    latest_name, latest = docs[-1]
+    rows = []
+    for name, case in latest.get("cases", {}).items():
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(name)}</td>"
+            f"<td>{_fmt(case['cps']['median'])}</td>"
+            f"<td>{_fmt(case['cps']['iqr'])}</td>"
+            f"<td>{_fmt(case['wall_s']['median'])}</td>"
+            f"<td>{_fmt(case['stats']['avg_latency'])}</td>"
+            "</tr>"
+        )
+    table = (
+        f"<p class=\"meta\">latest: {html.escape(latest_name)} @ "
+        f"{html.escape(str(latest.get('git_rev', 'unknown')))} "
+        f"(scale={html.escape(str(latest.get('scale')))}, "
+        f"reps={latest.get('reps')})</p>"
+        "<table><thead><tr><th>case</th><th>cyc/s median</th><th>cyc/s IQR</th>"
+        "<th>wall median (s)</th><th>avg latency</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    return f"<figure>{chart}</figure>{table}"
+
+
+def _runs_section(runs_dir: Path, top: int) -> str:
+    store = RunStore(runs_dir)
+    records: list[RunRecord] = store.latest(top, strict=False)
+    if not records:
+        return (
+            '<p class="empty">no run records yet — every '
+            "<code>repro run</code> / <code>repro simulate</code> appends "
+            f"one to <code>{html.escape(str(store.path))}</code>.</p>"
+        )
+    rows = []
+    for record in reversed(records):
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(record.created)}</td>"
+            f"<td>{html.escape(record.kind)}</td>"
+            f"<td>{html.escape(record.label)}</td>"
+            f"<td>{html.escape(record.workload)}</td>"
+            f"<td>{html.escape(str(record.seed))}</td>"
+            f"<td>{html.escape(record.git_rev)}</td>"
+            f"<td>{html.escape(record.config_hash)}</td>"
+            f"<td>{_fmt(record.cycles_per_second)}</td>"
+            f"<td>{_fmt(record.stats.get('avg_latency', math.nan))}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>created</th><th>kind</th><th>label</th>"
+        "<th>workload</th><th>seed</th><th>git</th><th>config</th>"
+        "<th>cyc/s</th><th>avg latency</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def build_dashboard(
+    results_dir: str | Path = "benchmarks/results",
+    *,
+    scale: str = "tiny",
+    bench_dirs: Optional[list[str | Path]] = None,
+    runs_dir: str | Path = "runs",
+    top_runs: int = 20,
+) -> str:
+    """Build the dashboard HTML.
+
+    Raises :class:`DashboardError` (not a traceback) when
+    ``results_dir`` is missing or holds no CSVs — the paper-figure
+    section is the page's reason to exist.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir() or not any(results_dir.glob("*.csv")):
+        raise DashboardError(
+            f"no benchmark CSVs in {results_dir}/ — regenerate them with "
+            "`pytest benchmarks/ --benchmark-only` (or point --results-dir "
+            "at a directory that has them)"
+        )
+    from .runstore import git_revision, utc_now_iso
+
+    dirs = [Path(d) for d in (bench_dirs if bench_dirs is not None else ["."])]
+    sections = [
+        f"<h1>repro — paper figures &amp; performance</h1>"
+        f'<p class="meta">generated {html.escape(utc_now_iso())} @ '
+        f"{html.escape(git_revision())} · scale {html.escape(scale)} · "
+        f"results {html.escape(str(results_dir))}</p>",
+        "<h2>Paper figure: Fig 11 latency-load curves</h2>",
+        _fig11_section(results_dir, scale),
+        "<h2>Paper-vs-measured agreement</h2>",
+        _agreement_section(results_dir, scale),
+        "<h2>Performance trajectory</h2>",
+        _bench_section(dirs),
+        "<h2>Recent runs</h2>",
+        _runs_section(Path(runs_dir), top_runs),
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">"
+        "<title>repro dashboard</title>"
+        f"<style>{_PAGE_STYLE}</style></head>"
+        f"<body class=\"viz-root\">{''.join(sections)}</body></html>\n"
+    )
+
+
+def write_dashboard(
+    out_path: str | Path,
+    results_dir: str | Path = "benchmarks/results",
+    **kwargs: Any,
+) -> Path:
+    """Build and write the dashboard; returns the written path."""
+    out_path = Path(out_path)
+    html_text = build_dashboard(results_dir, **kwargs)
+    if out_path.parent != Path():
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(html_text, encoding="utf-8")
+    return out_path

@@ -6,6 +6,10 @@ simulated cycle, simulation speed in cycles/second of wall-clock time,
 flits currently in the network, and the delivered fraction of the
 measured packet population.  Overhead is one modulo test per cycle plus
 one line of I/O per reporting interval.
+
+On an interactive terminal the line is rewritten in place with ``"\r"``;
+when the stream is not a TTY (CI logs, files, pipes) every update is
+written as its own newline-terminated line so logs stay readable.
 """
 
 from __future__ import annotations
@@ -50,6 +54,10 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.total_cycles = total_cycles
         self.updates = 0
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError, OSError):
+            self._tty = False
         self._started = time.perf_counter()
         self._last_wall = self._started
         self._last_cycle = 0
@@ -66,7 +74,11 @@ class ProgressReporter:
         self._last_wall = wall
         self._last_cycle = cycle
         self.updates += 1
-        self.stream.write("\r" + self._format_line(cycle, cps))
+        line = self._format_line(cycle, cps)
+        if self._tty:
+            self.stream.write("\r" + line)
+        else:
+            self.stream.write(line + "\n")
         self.stream.flush()
 
     def _format_line(self, cycle: int, cps: float) -> str:
@@ -88,7 +100,8 @@ class ProgressReporter:
             return
         self.network.telemetry.unsubscribe("cycle_end", self._on_cycle_end)
         self._closed = True
-        if self.updates:
+        if self.updates and self._tty:
+            # Non-TTY updates are already newline-terminated.
             self.stream.write("\n")
             self.stream.flush()
 

@@ -11,11 +11,14 @@ analysis.
 * :func:`link_utilization_table` — the busiest links with their kinds;
 * :func:`timeseries_heatmap` — per-epoch telemetry series (one labelled
   row per link/counter) as a text heatmap;
-* :func:`ascii_curve` — a quick y-vs-x line chart for latency curves.
+* :func:`ascii_curve` — a quick y-vs-x line chart for latency curves;
+* :func:`svg_line_chart` — a dependency-free inline-SVG line chart used
+  by ``repro dashboard``.
 """
 
 from __future__ import annotations
 
+import html
 import math
 from typing import Sequence
 
@@ -158,6 +161,169 @@ def render_path(spec: SystemSpec, nodes: Sequence[int]) -> str:
     for gy in range(grid.height - 1, -1, -1):
         lines.append("".join(cells[gy]))
     return "\n".join(lines)
+
+
+#: Categorical series colors (fixed assignment order, CVD-validated set);
+#: each is emitted as ``var(--series-N, #hex)`` so a hosting page can
+#: restyle (e.g. dark mode) through CSS custom properties.
+SVG_SERIES_COLORS: tuple[str, ...] = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+
+def _svg_ticks(lo: float, hi: float, n: int = 4) -> list[float]:
+    span = hi - lo
+    if span <= 0:
+        return [lo]
+    return [lo + span * i / n for i in range(n + 1)]
+
+
+def _fmt_tick(value: float) -> str:
+    return f"{value:,.6g}" if abs(value) < 1e6 else f"{value:,.0f}"
+
+
+def svg_line_chart(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 640,
+    height: int = 300,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_zero: bool = False,
+) -> str:
+    """Render ``[(label, xs, ys), ...]`` as a self-contained SVG string.
+
+    Pure stdlib — the dashboard's chart primitive.  NaN points are
+    skipped (a saturated operating point breaks the polyline there);
+    colors come from :data:`SVG_SERIES_COLORS` in fixed assignment
+    order, referenced as CSS custom properties with hex fallbacks so
+    embedding pages can restyle them.  ``y_zero`` pins the y-axis to 0
+    (for magnitude series like cycles/second).
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    points_by_series: list[tuple[str, list[tuple[float, float]]]] = []
+    for label, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: xs and ys must be equal-length")
+        finite = [
+            (float(x), float(y))
+            for x, y in zip(xs, ys)
+            if not (math.isnan(float(x)) or math.isnan(float(y)))
+        ]
+        points_by_series.append((str(label), finite))
+    every = [pt for _, pts in points_by_series for pt in pts]
+    if not every:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="60" role="img"><text x="8" y="32" '
+            f'fill="var(--text-secondary, #52514e)" font-size="13">'
+            f"{html.escape(title or 'chart')}: no finite points</text></svg>"
+        )
+    x_min = min(x for x, _ in every)
+    x_max = max(x for x, _ in every)
+    y_min = 0.0 if y_zero else min(y for _, y in every)
+    y_max = max(y for _, y in every)
+    if y_max == y_min:
+        y_max = y_min + (abs(y_min) or 1.0)
+    if x_max == x_min:
+        x_max = x_min + (abs(x_min) or 1.0)
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 28 if title else 12, 44
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + plot_h - (y - y_min) / (y_max - y_min) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'font-family="system-ui, sans-serif" font-size="11">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin_l}" y="16" font-size="13" font-weight="600" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(title)}</text>'
+        )
+    # Recessive grid + y tick labels.
+    for tick in _svg_ticks(y_min, y_max):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="var(--grid, #e6e4df)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 3.5:.1f}" text-anchor="end" '
+            f'fill="var(--text-secondary, #52514e)">{_fmt_tick(tick)}</text>'
+        )
+    for tick in _svg_ticks(x_min, x_max):
+        x = sx(tick)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - margin_b + 16}" text-anchor="middle" '
+            f'fill="var(--text-secondary, #52514e)">{_fmt_tick(tick)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.1f}" y="{height - 8}" '
+            f'text-anchor="middle" fill="var(--text-secondary, #52514e)">'
+            f"{html.escape(x_label)}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.1f}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2:.1f})" '
+            f'fill="var(--text-secondary, #52514e)">{html.escape(y_label)}</text>'
+        )
+    # Series: 2px polylines + hoverable markers with native tooltips.
+    for index, (label, pts) in enumerate(points_by_series):
+        color = (
+            f"var(--series-{index + 1}, "
+            f"{SVG_SERIES_COLORS[index % len(SVG_SERIES_COLORS)]})"
+        )
+        if len(pts) > 1:
+            path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+                f'fill="{color}" stroke="var(--surface-1, #fcfcfb)" '
+                f'stroke-width="2"><title>'
+                f"{html.escape(label)}: ({_fmt_tick(x)}, {_fmt_tick(y)})"
+                f"</title></circle>"
+            )
+    # Legend (color swatch + text in ink, never in series color).
+    legend_y = margin_t + 4
+    legend_x = margin_l + 8
+    for index, (label, _pts) in enumerate(points_by_series):
+        color = (
+            f"var(--series-{index + 1}, "
+            f"{SVG_SERIES_COLORS[index % len(SVG_SERIES_COLORS)]})"
+        )
+        y = legend_y + index * 16
+        parts.append(
+            f'<rect x="{legend_x}" y="{y - 8}" width="10" height="10" rx="2" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 16}" y="{y + 1}" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
 
 
 def ascii_curve(

@@ -175,3 +175,165 @@ def test_check_exits_nonzero_on_injected_cycle(capsys, monkeypatch):
 def test_check_requires_family_or_all():
     with pytest.raises(SystemExit):
         main(["check"])
+
+
+def test_report_without_results_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no benchmark CSVs"):
+        main(["report", "--results-dir", str(tmp_path / "missing")])
+
+
+def test_run_appends_registry_record(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    assert main(
+        ["run", "table1", "--scale", "tiny", "--runs-dir", str(runs_dir)]
+    ) == 0
+    capsys.readouterr()
+    from repro.telemetry.runstore import RunStore
+
+    records = RunStore(runs_dir).load()
+    assert len(records) == 1
+    assert records[0].kind == "experiment"
+    assert records[0].label == "table1"
+    assert records[0].scale == "tiny"
+    assert records[0].wall_seconds > 0
+
+
+def test_run_no_record_skips_registry(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    args = ["run", "table1", "--scale", "tiny", "--runs-dir", str(runs_dir)]
+    assert main([*args, "--no-record"]) == 0
+    capsys.readouterr()
+    assert not (runs_dir / "runs.jsonl").exists()
+
+
+def test_simulate_records_run_and_prints_manifest(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    metrics_dir = tmp_path / "metrics"
+    code = main(
+        [
+            *SIM_ARGS,
+            "--metrics",
+            str(metrics_dir),
+            "--runs-dir",
+            str(runs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    manifest = re.search(r"^artifacts : (.+)$", out, re.MULTILINE)
+    assert manifest, out
+    assert f"metrics_dir={metrics_dir}" in manifest.group(1)
+    assert "record=" in manifest.group(1)
+    from repro.telemetry.runstore import RunStore
+
+    records = RunStore(runs_dir).load()
+    assert len(records) == 1
+    assert records[0].kind == "simulate"
+    assert records[0].seed == 1
+    assert records[0].artifacts["metrics_dir"] == str(metrics_dir)
+    assert records[0].run_id in manifest.group(1)
+
+
+def test_simulate_plain_run_prints_no_manifest(tmp_path, capsys):
+    assert main([*SIM_ARGS, "--runs-dir", str(tmp_path), "--no-record"]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts :" not in out
+
+
+def test_bench_cli_writes_bench_file(tmp_path, capsys):
+    code = main(
+        [
+            "bench",
+            "--scale",
+            "tiny",
+            "--reps",
+            "1",
+            "--case",
+            "fig14_hetero_channel",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    path = tmp_path / "BENCH_0.json"
+    assert path.is_file()
+    assert f"wrote {path}" in out
+    doc = json.loads(path.read_text())
+    assert doc["schema_version"] == 1
+    assert list(doc["cases"]) == ["fig14_hetero_channel"]
+
+
+def test_bench_cli_rejects_unknown_case(tmp_path):
+    with pytest.raises(SystemExit, match="unknown bench case"):
+        main(["bench", "--case", "fig99", "--out-dir", str(tmp_path)])
+
+
+def _write_bench_pair(tmp_path, cps_a, cps_b):
+    from .test_bench_compare import make_bench_doc, make_case
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(make_bench_doc(fig11=make_case(cps_median=cps_a, cps_iqr=0.0))))
+    b.write_text(json.dumps(make_bench_doc(fig11=make_case(cps_median=cps_b, cps_iqr=0.0))))
+    return a, b
+
+
+def test_compare_cli_is_warn_only_by_default(tmp_path, capsys):
+    a, b = _write_bench_pair(tmp_path, 5_000.0, 3_000.0)  # a clear regression
+    assert main(["compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "! regressed" in out
+    assert "1 regression(s)" in out
+
+
+def test_compare_cli_strict_exits_nonzero_on_regression(tmp_path, capsys):
+    a, b = _write_bench_pair(tmp_path, 5_000.0, 3_000.0)
+    assert main(["compare", str(a), str(b), "--strict"]) == 1
+    capsys.readouterr()
+    # Improvements never fail, even under --strict.
+    assert main(["compare", str(b), str(a), "--strict"]) == 0
+
+
+def test_compare_cli_missing_file_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no such file"):
+        main(["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+
+
+def test_dashboard_cli(tmp_path, capsys):
+    from .test_dashboard import write_fig11_csv
+
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    out_path = tmp_path / "dash.html"
+    code = main(
+        [
+            "dashboard",
+            "--out",
+            str(out_path),
+            "--results-dir",
+            str(results),
+            "--scale",
+            "tiny",
+            "--bench-dir",
+            str(tmp_path),
+            "--runs-dir",
+            str(tmp_path / "runs"),
+        ]
+    )
+    assert code == 0
+    assert f"wrote {out_path}" in capsys.readouterr().out
+    assert "<svg" in out_path.read_text()
+
+
+def test_dashboard_cli_without_results_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no benchmark CSVs"):
+        main(
+            [
+                "dashboard",
+                "--out",
+                str(tmp_path / "dash.html"),
+                "--results-dir",
+                str(tmp_path / "missing"),
+            ]
+        )

@@ -1,0 +1,73 @@
+"""Tests for the static HTML dashboard (``repro.telemetry.dashboard``)."""
+
+import pytest
+
+from repro.exps.common import ExperimentResult
+from repro.telemetry.bench import write_bench
+from repro.telemetry.dashboard import DashboardError, build_dashboard, write_dashboard
+from repro.telemetry.runstore import RunStore
+
+from .test_bench_compare import make_bench_doc, make_case
+from .test_runstore import make_record
+
+
+def write_fig11_csv(results_dir, scale="tiny"):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    result = ExperimentResult(
+        "fig11", "t", ("pattern", "network", "rate", "avg_latency", "delivered")
+    )
+    for network, base in (("parallel-mesh", 20.0), ("hetero-phy-full", 18.0)):
+        for rate in (0.05, 0.15, 0.25):
+            result.add("uniform", network, rate, base + 100 * rate, 0.99)
+    (results_dir / f"fig11_{scale}.csv").write_text(result.to_csv() + "\n")
+
+
+def test_dashboard_renders_all_sections(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    bench_dir = tmp_path / "bench"
+    write_bench(make_bench_doc(fig11=make_case(cps_median=5_000.0)), bench_dir)
+    write_bench(make_bench_doc(fig11=make_case(cps_median=5_500.0)), bench_dir)
+    runs = tmp_path / "runs"
+    RunStore(runs).append(make_record(label="smoke"))
+
+    page = build_dashboard(
+        results, scale="tiny", bench_dirs=[bench_dir], runs_dir=runs
+    )
+    assert page.startswith("<!DOCTYPE html>")
+    assert page.count("<svg") == 2  # fig11 curves + bench trajectory
+    assert "parallel-mesh" in page and "hetero-phy-full" in page
+    assert "var(--series-1" in page  # palette via CSS custom properties
+    assert "prefers-color-scheme: dark" in page
+    assert "smoke" in page  # the run-registry row
+    assert "<script" not in page  # self-contained, no scripting
+
+
+def test_dashboard_requires_results_csvs(tmp_path):
+    with pytest.raises(DashboardError, match="no benchmark CSVs"):
+        build_dashboard(tmp_path / "missing")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(DashboardError, match="no benchmark CSVs"):
+        build_dashboard(empty)
+
+
+def test_dashboard_empty_bench_and_runs_degrade_gracefully(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    page = build_dashboard(
+        results,
+        scale="tiny",
+        bench_dirs=[tmp_path / "no-bench"],
+        runs_dir=tmp_path / "no-runs",
+    )
+    assert "no BENCH_" in page
+    assert "no run records yet" in page
+
+
+def test_write_dashboard_creates_parents(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    out = write_dashboard(tmp_path / "deep" / "dashboard.html", results, scale="tiny")
+    assert out.is_file()
+    assert out.read_text().startswith("<!DOCTYPE html>")

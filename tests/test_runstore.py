@@ -1,0 +1,155 @@
+"""Tests for the append-only run registry (``repro.telemetry.runstore``)."""
+
+import json
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.experiment import run_synthetic
+from repro.telemetry.runstore import (
+    RUN_SCHEMA_VERSION,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    config_digest,
+    new_run_id,
+    record_from_result,
+    system_digest,
+    utc_now_iso,
+)
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+
+
+def make_record(**overrides) -> RunRecord:
+    data = dict(
+        run_id=new_run_id(),
+        created=utc_now_iso(),
+        kind="simulate",
+        label="hetero_phy_torus",
+        scale="tiny",
+        seed=7,
+        config_hash="abc123def456",
+        git_rev="0000000",
+        workload="uniform@0.1",
+        policy="performance",
+        n_nodes=36,
+        cycles=2_000,
+        wall_seconds=0.5,
+        cycles_per_second=4_000.0,
+        stats={"avg_latency": 21.5, "delivered_fraction": 0.99},
+        artifacts={"trace": "run.json"},
+        extras={"rows": 4.0},
+    )
+    data.update(overrides)
+    return RunRecord(**data)
+
+
+# -- JSONL round-trip --------------------------------------------------------
+def test_append_load_roundtrip(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    first, second = make_record(), make_record(label="second")
+    path = store.append(first)
+    store.append(second)
+    assert path == tmp_path / "runs" / "runs.jsonl"
+    loaded = store.load()
+    assert loaded == [first, second]
+    assert len(store) == 2
+    # Append-only: a re-opened store sees the same records plus new ones.
+    reopened = RunStore(tmp_path / "runs")
+    reopened.append(make_record(label="third"))
+    assert [r.label for r in reopened.load()] == [
+        "hetero_phy_torus", "second", "third",
+    ]
+
+
+def test_empty_or_missing_store(tmp_path):
+    store = RunStore(tmp_path / "never-written")
+    assert store.load() == []
+    assert store.latest(5) == []
+    assert len(store) == 0
+
+
+def test_latest_returns_newest_oldest_first(tmp_path):
+    store = RunStore(tmp_path)
+    for index in range(5):
+        store.append(make_record(label=f"run{index}"))
+    assert [r.label for r in store.latest(2)] == ["run3", "run4"]
+    assert store.latest(0) == []
+
+
+# -- schema enforcement ------------------------------------------------------
+def test_foreign_schema_version_rejected(tmp_path):
+    record = make_record()
+    data = record.to_dict()
+    data["schema_version"] = RUN_SCHEMA_VERSION + 1
+    store = RunStore(tmp_path)
+    store.directory.mkdir(exist_ok=True)
+    store.path.write_text(json.dumps(data) + "\n")
+    with pytest.raises(RunStoreError, match="schema"):
+        store.load()
+    with pytest.raises(RunStoreError, match="not supported"):
+        RunRecord.from_dict(data)
+
+
+def test_unknown_fields_rejected():
+    data = make_record().to_dict()
+    data["surprise"] = 1
+    with pytest.raises(RunStoreError, match="unknown fields"):
+        RunRecord.from_dict(data)
+
+
+def test_corrupt_lines_raise_strict_and_skip_lenient(tmp_path):
+    store = RunStore(tmp_path)
+    store.append(make_record(label="good"))
+    with store.path.open("a") as handle:
+        handle.write("{not json\n")
+        handle.write('"a bare string"\n')
+    store.append(make_record(label="after"))
+    with pytest.raises(RunStoreError, match="unreadable"):
+        store.load()
+    labels = [r.label for r in store.load(strict=False)]
+    assert labels == ["good", "after"]
+
+
+# -- digests -----------------------------------------------------------------
+def test_config_digest_is_stable_and_order_insensitive():
+    a = config_digest({"x": 1, "y": [2, 3]})
+    b = config_digest({"y": [2, 3], "x": 1})
+    assert a == b
+    assert len(a) == 12
+    assert a != config_digest({"x": 1, "y": [2, 4]})
+
+
+def test_system_digest_covers_workload_and_policy():
+    grid = ChipletGrid(2, 2, 2, 2)
+    spec = build_system("parallel_mesh", grid, SimConfig().scaled(500))
+    base = system_digest(spec, workload="uniform@0.1", policy="performance")
+    assert base == system_digest(spec, workload="uniform@0.1", policy="performance")
+    assert base != system_digest(spec, workload="uniform@0.2", policy="performance")
+    assert base != system_digest(spec, workload="uniform@0.1", policy="balanced")
+
+
+# -- integration with RunResult ----------------------------------------------
+def test_record_from_real_run(tmp_path):
+    grid = ChipletGrid(2, 2, 2, 2)
+    spec = build_system("parallel_mesh", grid, SimConfig().scaled(600))
+    result = run_synthetic(spec, "uniform", 0.1, seed=3)
+    assert result.wall_seconds > 0
+    assert result.cycles_per_second > 0
+    assert len(result.config_hash) == 12
+
+    record = record_from_result(
+        result, kind="simulate", scale="tiny", git_rev="cafef00d",
+        artifacts={"trace": "t.json"},
+    )
+    assert record.schema_version == RUN_SCHEMA_VERSION
+    assert record.label == result.system
+    assert record.seed == 3
+    assert record.config_hash == result.config_hash
+    assert record.stats["avg_latency"] == result.avg_latency
+    assert record.artifacts == {"trace": "t.json"}
+
+    store = RunStore(tmp_path)
+    store.append(record)
+    assert store.load() == [record]

@@ -280,6 +280,54 @@ def test_progress_reporter_validates_interval():
         ProgressReporter(network, every_cycles=0)
 
 
+def test_progress_reporter_tty_rewrites_one_line():
+    class TtyStream(io.StringIO):
+        def isatty(self):
+            return True
+
+    network, _stats = build_chain(2)
+    stream = TtyStream()
+    reporter = ProgressReporter(network, every_cycles=10, stream=stream)
+    run_cycles(network, 30)
+    reporter.close()
+    text = stream.getvalue()
+    assert reporter.updates == 3
+    assert text.count("\r") == 3  # in-place rewrites
+    assert text.endswith("\n") and text.count("\n") == 1  # one final newline
+
+
+def test_progress_reporter_non_tty_emits_newline_per_update():
+    network, _stats = build_chain(2)
+    stream = io.StringIO()  # StringIO.isatty() is False: the pipe/CI case
+    reporter = ProgressReporter(network, every_cycles=10, stream=stream)
+    run_cycles(network, 30)
+    reporter.close()
+    text = stream.getvalue()
+    assert reporter.updates == 3
+    assert "\r" not in text
+    assert text.count("\n") == 3  # one terminated line per update, no extra
+
+
+def test_progress_reporter_survives_streams_without_isatty():
+    class BareStream:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, text):
+            self.chunks.append(text)
+
+        def flush(self):
+            pass
+
+    network, _stats = build_chain(2)
+    stream = BareStream()
+    reporter = ProgressReporter(network, every_cycles=10, stream=stream)
+    run_cycles(network, 10)
+    reporter.close()
+    assert reporter.updates == 1
+    assert "".join(stream.chunks).endswith("\n")  # fell back to non-TTY mode
+
+
 # -- end-to-end through the harness ------------------------------------------
 def test_run_synthetic_telemetry_session(tmp_path, small_grid):
     from repro.sim.config import SimConfig

@@ -98,3 +98,42 @@ def test_render_path():
     assert len(lines) == spec.grid.height + 1
     with pytest.raises(ValueError):
         render_path(spec, [])
+
+
+def test_svg_line_chart_structure():
+    from repro.viz import svg_line_chart
+
+    svg = svg_line_chart(
+        [
+            ("mesh", [0.1, 0.2, 0.3], [20.0, 25.0, 40.0]),
+            ("torus", [0.1, 0.2, 0.3], [60.0, 61.0, 63.0]),
+        ],
+        title="latency vs rate",
+        x_label="rate",
+        y_label="latency",
+    )
+    assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert svg.count('var(--series-1') >= 1 and svg.count('var(--series-2') >= 1
+    assert svg.count("<circle") == 6  # one marker per point
+    assert "<title>" in svg  # native tooltips
+    assert "mesh" in svg and "torus" in svg  # legend labels
+    assert "latency vs rate" in svg
+
+
+def test_svg_line_chart_skips_nan_and_validates():
+    from repro.viz import svg_line_chart
+
+    svg = svg_line_chart(
+        [("s", [0.0, 1.0, 2.0], [1.0, math.nan, 3.0])],
+        title="t", x_label="x", y_label="y",
+    )
+    assert svg.count("<circle") == 2  # the NaN point is dropped
+    assert "nan" not in svg
+    assert "no finite points" in svg_line_chart(
+        [("s", [0.0], [math.nan])], title="t", x_label="x", y_label="y"
+    )
+    with pytest.raises(ValueError):
+        svg_line_chart([], title="t", x_label="x", y_label="y")
+    with pytest.raises(ValueError):
+        svg_line_chart([("s", [1.0], [])], title="t", x_label="x", y_label="y")
