@@ -126,7 +126,9 @@ def _cmd_simulate(args) -> int:
         config = config.halved()
     spec = build_system(args.family, grid, config)
     telemetry = None
-    if args.metrics or args.trace or args.profile or args.progress:
+    breakdown_wanted = args.latency_breakdown or args.breakdown_csv
+    if (args.metrics or args.trace or args.profile or args.progress
+            or breakdown_wanted):
         from repro.telemetry import TelemetryConfig
 
         telemetry = TelemetryConfig(
@@ -135,6 +137,8 @@ def _cmd_simulate(args) -> int:
             epoch_length=args.epoch,
             progress=args.progress,
             profile=args.profile,
+            latency_breakdown=bool(breakdown_wanted),
+            breakdown_csv=args.breakdown_csv,
         )
     result = run_synthetic(
         spec,
@@ -156,15 +160,22 @@ def _cmd_simulate(args) -> int:
     par, ser = result.phy_split
     if par or ser:
         print(f"hetero-PHY flit split     : parallel {par}, serial {ser}")
+    if breakdown_wanted and result.telemetry is not None:
+        from repro.telemetry.attribution import render_breakdown
+
+        print()
+        print(render_breakdown(result.telemetry.ledger.summary()))
     artifacts: dict[str, str] = {}
     if args.metrics:
         artifacts["metrics_dir"] = str(args.metrics)
     if args.trace:
         artifacts["trace"] = str(args.trace)
+    if args.breakdown_csv:
+        artifacts["breakdown_csv"] = str(args.breakdown_csv)
     if result.telemetry is not None:
         for path in result.telemetry.written:
             print(f"wrote {path}")
-    telemetry_enabled = bool(artifacts)
+    telemetry_enabled = bool(artifacts) or bool(breakdown_wanted)
     if not args.no_record:
         from repro.telemetry.runstore import RunStore, record_from_result
 
@@ -362,6 +373,19 @@ def main(argv: list[str] | None = None) -> int:
         "--progress",
         action="store_true",
         help="show a live progress line on stderr while simulating",
+    )
+    sim_p.add_argument(
+        "--latency-breakdown",
+        action="store_true",
+        help="attribute every measured packet's latency to pipeline stages "
+        "and print the per-stage + bottleneck tables",
+    )
+    sim_p.add_argument(
+        "--breakdown-csv",
+        metavar="PATH",
+        default=None,
+        help="write the per-stage breakdown CSV here (implies "
+        "--latency-breakdown)",
     )
     add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)

@@ -163,6 +163,14 @@ class HeteroPhyLink(Link):
 
     # -- receive side --------------------------------------------------------------
     def _receive(self, now: int) -> None:
+        # Event-ordering contract (the latency ledger depends on it): for a
+        # flit arriving in cycle ``now``, ``rob_insert`` fires first, then —
+        # in the same cycle, because the drain below is unbounded —
+        # ``rob_release`` followed by the downstream router's ``flit_recv``.
+        # A flit therefore never shows a hidden gap between ROB release and
+        # input-buffer arrival; ROB reorder wait is exactly the
+        # insert-to-release distance, which is zero unless the flit had to
+        # wait for a predecessor on the slower PHY.
         rob = self.rob
         rob_insert = self._telemetry.rob_insert
         for pipe in (self._par_pipe, self._ser_pipe):

@@ -85,7 +85,10 @@ class ReorderBuffer:
         progress = True
         while progress and (budget is None or released < budget):
             progress = False
-            for vc in {vc for vc, _sn in waiting}:
+            # Ascending-VC order makes the within-cycle release sequence
+            # well-defined, so downstream arbitration and telemetry
+            # subscribers see a reproducible event order.
+            for vc in sorted({vc for vc, _sn in waiting}):
                 sn = expected.get(vc, 0)
                 flit = waiting.pop((vc, sn), None)
                 if flit is not None:

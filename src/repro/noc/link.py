@@ -26,6 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import Network
     from .router import Router
 
+#: Latency-ledger stage charged for a tail flit's traversal of a link of
+#: each kind.  Hetero-PHY links carry ``None``: their traversal is
+#: attributed through the ``phy_dispatch`` / ``rob_insert`` /
+#: ``rob_release`` events instead, split per PHY.  The names must stay in
+#: sync with :data:`repro.telemetry.attribution.STAGES` (checked by
+#: ``tests/test_attribution.py``).
+TRAVERSAL_STAGES: dict[ChannelKind, Optional[str]] = {
+    ChannelKind.ONCHIP: "link_onchip",
+    ChannelKind.PARALLEL: "link_parallel",
+    ChannelKind.SERIAL: "link_serial",
+    ChannelKind.HETERO_PHY: None,
+}
+
 
 class Link:
     """Base class of all directed links.
@@ -52,6 +65,8 @@ class Link:
         self.flits_carried = 0
         # Hot-path constants (bound at construction).
         self._kind_id = KIND_IDS[spec.kind]
+        #: Ledger stage for tail-flit traversal (see TRAVERSAL_STAGES).
+        self.traversal_stage = TRAVERSAL_STAGES[spec.kind]
         self._is_interface = spec.is_interface
         self._credit_delay = max(1, spec.min_delay)
         # Rebound to the network's bus at attach(); inert until then.

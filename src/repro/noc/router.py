@@ -246,6 +246,10 @@ class Router:
                             f"routing returned no candidates at node {self.node} "
                             f"for packet {packet!r}"
                         )
+                    if self._telemetry.route_compute is not None:
+                        self._telemetry.route_compute(
+                            self, packet, ivc.port, ivc.index, now
+                        )
                     # Speculative router: routing computation and VC
                     # allocation complete within one cycle at zero load
                     # (Sec 7.1); switch traversal happens the next cycle.
@@ -306,6 +310,10 @@ class Router:
         ivc.out_vc = vc_idx
         ivc.state = VC_ACTIVE
         ivc.ready_cycle = now + 1
+        if self._telemetry.vc_alloc is not None:
+            self._telemetry.vc_alloc(
+                self, packet, ivc.port, ivc.index, port_idx, vc_idx, now
+            )
         return True
 
     # Switch allocation + transmission.

@@ -54,6 +54,20 @@ class RunResult:
         return self.stats.avg_latency
 
     @property
+    def stage_totals(self) -> Optional[dict[str, int]]:
+        """Ledger stage totals (None unless ``latency_breakdown`` ran)."""
+        if self.telemetry is None or self.telemetry.ledger is None:
+            return None
+        return self.telemetry.ledger.stage_totals()
+
+    @property
+    def latency_breakdown(self) -> Optional[dict]:
+        """Full attribution summary (None unless ``latency_breakdown`` ran)."""
+        if self.telemetry is None or self.telemetry.ledger is None:
+            return None
+        return self.telemetry.ledger.summary()
+
+    @property
     def cycles_per_second(self) -> float:
         """Simulation throughput in simulated cycles per wall-clock second."""
         if math.isnan(self.wall_seconds) or self.wall_seconds <= 0:

@@ -10,8 +10,29 @@ from __future__ import annotations
 
 import math
 
+from typing import Sequence
+
 from repro.noc.channel import KINDS_BY_ID, ChannelKind
 from repro.noc.flit import Packet
+
+
+def percentile(values: Sequence[float], pct: float, *, presorted: bool = False) -> float:
+    """The ``pct``-th percentile of ``values`` (ceil-rank convention).
+
+    ``pct`` must satisfy ``0 < pct <= 100``; anything else (including NaN)
+    raises :class:`ValueError` naming the offending value.  Returns NaN for
+    an empty sequence.  ``presorted=True`` skips the sort when the caller
+    already keeps the values ordered (the latency ledger's aggregates).
+    """
+    if math.isnan(pct) or not 0 < pct <= 100:
+        raise ValueError(
+            f"percentile pct must be in (0, 100], got {pct!r}"
+        )
+    if not values:
+        return math.nan
+    ordered = values if presorted else sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
+    return float(ordered[idx])
 
 
 class Stats:
@@ -105,13 +126,7 @@ class Stats:
 
     def latency_percentile(self, pct: float) -> float:
         """Latency percentile (0 < pct <= 100) of measured packets."""
-        if not 0 < pct <= 100:
-            raise ValueError("pct must be in (0, 100]")
-        if not self.latencies:
-            return math.nan
-        ordered = sorted(self.latencies)
-        idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100 * len(ordered)) - 1))
-        return float(ordered[idx])
+        return percentile(self.latencies, pct)
 
     def throughput(self, n_nodes: int, measured_cycles: int) -> float:
         """Accepted traffic in flits/cycle/node over the measurement window."""

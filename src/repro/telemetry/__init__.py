@@ -2,6 +2,9 @@
 
 * :class:`TelemetryBus` — the single instrumentation seam: named events,
   zero-cost with no subscribers (``repro.telemetry.bus``);
+* :class:`LatencyLedger` — per-packet latency attribution with an exact
+  conservation invariant, aggregate breakdowns and topology bottleneck
+  tables (``repro.telemetry.attribution``);
 * :class:`EpochMetrics` — per-epoch time-series collectors with CSV/JSON
   export (``repro.telemetry.metrics``);
 * :class:`ChromeTraceBuilder` — Perfetto-loadable Chrome trace-event
@@ -26,6 +29,12 @@ collector submodules only reference simulator types under
 simulator inside functions only.
 """
 
+from .attribution import (
+    STAGES,
+    AttributionError,
+    LatencyLedger,
+    render_breakdown,
+)
 from .bench import BENCH_SCHEMA_VERSION, EventCounters, run_bench, write_bench
 from .bus import EVENT_NAMES, NULL_BUS, TelemetryBus
 from .compare import MetricVerdict, compare_bench, compare_records, compare_paths
@@ -42,10 +51,14 @@ from .session import TelemetryConfig, TelemetrySession
 from .trace import ChromeTraceBuilder
 
 __all__ = [
+    "AttributionError",
     "BENCH_SCHEMA_VERSION",
     "EVENT_NAMES",
+    "LatencyLedger",
     "NULL_BUS",
     "RUN_SCHEMA_VERSION",
+    "STAGES",
+    "render_breakdown",
     "TelemetryBus",
     "EpochMetrics",
     "EpochSample",

@@ -27,6 +27,10 @@ Event catalogue (arguments each callback receives):
 =================  ===========================================================
 ``packet_inject``  ``(network, packet)`` — packet handed to its source router
 ``packet_eject``   ``(router, packet, now)`` — tail flit ejected, packet done
+``route_compute``  ``(router, packet, in_port, in_vc, now)`` — routing
+                   computation produced the packet's candidate outputs here
+``vc_alloc``       ``(router, packet, in_port, in_vc, out_port, out_vc, now)``
+                   — VC allocation granted the packet an output VC
 ``flit_send``      ``(router, flit, out_port, out_vc, now)`` — switch traversal
 ``flit_recv``      ``(router, port, vc, flit, now)`` — flit entered an input VC
 ``link_accept``    ``(link, flit, vc, now)`` — flit entered a link at the TX
@@ -40,6 +44,20 @@ Event catalogue (arguments each callback receives):
 ``rob_release``    ``(link, flit, vc, now)`` — flit released in order to RX
 ``cycle_end``      ``(network, now)`` — the network finished stepping ``now``
 =================  ===========================================================
+
+Ordering guarantees
+-------------------
+Two properties every collector may rely on (the latency ledger does):
+
+* **Event order is emission order** and emission cycles never decrease:
+  within one cycle, links step before routers and ``cycle_end`` fires
+  last (see :meth:`repro.noc.network.Network.step`).
+* **Subscriber order is subscription order.**  With several callbacks on
+  one event, emission fans out over a tuple snapshot in the order the
+  callbacks subscribed; attaching or detaching *other* subscribers (a
+  progress reporter, a tracer) never reorders events relative to each
+  other or changes what an existing subscriber observes.  Callbacks run
+  synchronously and must not mutate simulator state.
 """
 
 from __future__ import annotations
@@ -50,6 +68,8 @@ from typing import Any, Callable, Optional
 EVENT_NAMES: tuple[str, ...] = (
     "packet_inject",
     "packet_eject",
+    "route_compute",
+    "vc_alloc",
     "flit_send",
     "flit_recv",
     "link_accept",
@@ -71,6 +91,8 @@ class TelemetryBus:
 
     packet_inject: Optional[Callback]
     packet_eject: Optional[Callback]
+    route_compute: Optional[Callback]
+    vc_alloc: Optional[Callback]
     flit_send: Optional[Callback]
     flit_recv: Optional[Callback]
     link_accept: Optional[Callback]

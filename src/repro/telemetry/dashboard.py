@@ -6,6 +6,9 @@ SVG via :func:`repro.viz.svg_line_chart` — with:
 * the Fig 11 latency-vs-load curves from ``benchmarks/results/*.csv``;
 * the paper-vs-measured agreement summary (``repro report``'s text);
 * the perf trajectory across every stored ``BENCH_<n>.json``;
+* the latency-attribution panel (stacked per-stage bars via
+  :func:`repro.viz.svg_stacked_bars` + top-bottleneck-links table) for
+  runs recorded with ``--latency-breakdown``;
 * the most recent entries of the ``runs/`` registry.
 
 The page carries its own light/dark palette as CSS custom properties
@@ -215,6 +218,92 @@ def _bench_section(bench_dirs: list[Path]) -> str:
     return f"<figure>{chart}</figure>{table}"
 
 
+def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
+    """Stacked per-stage latency bars + bottleneck table from the registry."""
+    from repro.viz import svg_stacked_bars
+
+    from .attribution import STAGES
+
+    store = RunStore(runs_dir)
+    records = [
+        record
+        for record in store.load(strict=False)
+        if record.breakdown.get("stages")
+    ][-max_bars:]
+    if not records:
+        return (
+            '<p class="empty">no runs with a latency breakdown yet — '
+            "record one with <code>repro simulate --latency-breakdown"
+            "</code>.</p>"
+        )
+    # Keep only stages that contribute somewhere, in canonical order.
+    segments = [
+        name
+        for name in STAGES
+        if any(
+            record.breakdown["stages"].get(name, {}).get("total")
+            for record in records
+        )
+    ] or list(STAGES)
+    bars = []
+    for record in records:
+        label = f"{record.label} {record.workload} · {record.created[:10]}"
+        stages = record.breakdown["stages"]
+        bars.append(
+            (label, [stages.get(name, {}).get("mean", 0.0) for name in segments])
+        )
+    chart = svg_stacked_bars(
+        bars,
+        segments,
+        title="mean cycles per packet, attributed to pipeline stages",
+        x_label="cycles",
+    )
+    latest = records[-1]
+    stage_rows = "".join(
+        "<tr>"
+        f"<td>{html.escape(name)}</td>"
+        f"<td>{_fmt(float(cell.get('mean', 0.0)))}</td>"
+        f"<td>{_fmt(float(cell.get('p95', 0.0)))}</td>"
+        f"<td>{_fmt(float(cell.get('p99', 0.0)))}</td>"
+        f"<td>{float(cell.get('share', 0.0)):.1%}</td>"
+        "</tr>"
+        for name, cell in latest.breakdown["stages"].items()
+        if cell.get("total")
+    )
+    stage_table = (
+        "<details><summary>stage table (latest run)</summary>"
+        "<table><thead><tr><th>stage</th><th>mean</th><th>p95</th>"
+        "<th>p99</th><th>share</th></tr></thead>"
+        f"<tbody>{stage_rows}</tbody></table></details>"
+    )
+    links = latest.breakdown.get("bottleneck_links") or []
+    if links:
+        link_rows = "".join(
+            "<tr>"
+            f"<td>{entry.get('src')}&rarr;{entry.get('dst')}</td>"
+            f"<td>{html.escape(str(entry.get('kind', '')))}</td>"
+            f"<td>{_fmt(float(entry.get('queue_cycles', 0)))}</td>"
+            f"<td>{_fmt(float(entry.get('stall_cycles', 0)))}</td>"
+            f"<td>{_fmt(float(entry.get('packets', 0)))}</td>"
+            "</tr>"
+            for entry in links[:5]
+        )
+        bottlenecks = (
+            f"<p class=\"meta\">top bottleneck links of "
+            f"{html.escape(latest.label)} {html.escape(latest.workload)} "
+            "(queueing cycles attributed to measured tails)</p>"
+            "<table><thead><tr><th>link</th><th>kind</th>"
+            "<th>queue cycles</th><th>stall cycles</th><th>packets</th>"
+            f"</tr></thead><tbody>{link_rows}</tbody></table>"
+        )
+    else:
+        bottlenecks = (
+            '<p class="empty">no congested links recorded for the latest '
+            "breakdown run.</p>"
+        )
+    return f"<figure>{chart}</figure>{stage_table}{bottlenecks}"
+
+
 def _runs_section(runs_dir: Path, top: int) -> str:
     store = RunStore(runs_dir)
     records: list[RunRecord] = store.latest(top, strict=False)
@@ -282,6 +371,8 @@ def build_dashboard(
         _agreement_section(results_dir, scale),
         "<h2>Performance trajectory</h2>",
         _bench_section(dirs),
+        "<h2>Latency attribution</h2>",
+        _breakdown_section(Path(runs_dir)),
         "<h2>Recent runs</h2>",
         _runs_section(Path(runs_dir), top_runs),
     ]

@@ -112,6 +112,11 @@ class RunRecord:
     #: Artifact pointers, e.g. ``{"metrics_dir": ..., "trace": ...}``.
     artifacts: dict[str, str] = field(default_factory=dict)
     extras: dict[str, float] = field(default_factory=dict)
+    #: Compact latency-attribution summary (``LatencyLedger.record_summary``,
+    #: empty unless the run collected a breakdown).  Optional with a default
+    #: so records written before this field existed keep loading under
+    #: schema v1.
+    breakdown: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -152,6 +157,11 @@ def record_from_result(
     extras: Optional[dict[str, float]] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from a finished ``RunResult``."""
+    breakdown: dict[str, Any] = {}
+    session = getattr(result, "telemetry", None)
+    ledger = getattr(session, "ledger", None)
+    if ledger is not None:
+        breakdown = ledger.record_summary()
     return RunRecord(
         run_id=new_run_id(),
         created=utc_now_iso(),
@@ -170,6 +180,7 @@ def record_from_result(
         stats=dict(result.stats.summary()),
         artifacts=dict(artifacts or {}),
         extras=dict(extras or {}),
+        breakdown=breakdown,
     )
 
 

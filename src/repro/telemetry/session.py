@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Callable, Optional
 
+from .attribution import LatencyLedger
 from .metrics import EpochMetrics
 from .progress import ProgressReporter
 from .trace import ChromeTraceBuilder
@@ -52,6 +53,11 @@ class TelemetryConfig:
     profile: bool = False
     #: Number of hottest functions in the profile report.
     profile_top: int = 25
+    #: Attach the per-packet latency-attribution ledger
+    #: (:class:`~repro.telemetry.attribution.LatencyLedger`).
+    latency_breakdown: bool = False
+    #: Write the per-stage breakdown CSV here (implies the ledger).
+    breakdown_csv: Optional[str | Path] = None
 
 
 @dataclass
@@ -63,6 +69,7 @@ class TelemetrySession:
     metrics: Optional[EpochMetrics] = None
     trace: Optional[ChromeTraceBuilder] = None
     progress: Optional[ProgressReporter] = None
+    ledger: Optional[LatencyLedger] = None
     #: cProfile report text (set by the harness when profiling was requested).
     profile_text: Optional[str] = None
     #: Files written by :meth:`finalize`.
@@ -96,6 +103,8 @@ class TelemetrySession:
                 stream=config.progress_stream,
                 total_cycles=total_cycles,
             )
+        if config.latency_breakdown or config.breakdown_csv is not None:
+            session.ledger = LatencyLedger(network, measure_from=warmup)
         return session
 
     def finalize(self, end_cycle: int) -> list[Path]:
@@ -110,4 +119,8 @@ class TelemetrySession:
             self.trace.detach()
             if self.config.trace_path is not None:
                 self.written.append(self.trace.write(self.config.trace_path))
+        if self.ledger is not None:
+            self.ledger.detach()
+            if self.config.breakdown_csv is not None:
+                self.written.append(self.ledger.write_csv(self.config.breakdown_csv))
         return self.written

@@ -13,7 +13,9 @@ analysis.
   row per link/counter) as a text heatmap;
 * :func:`ascii_curve` — a quick y-vs-x line chart for latency curves;
 * :func:`svg_line_chart` — a dependency-free inline-SVG line chart used
-  by ``repro dashboard``.
+  by ``repro dashboard``;
+* :func:`svg_stacked_bars` — inline-SVG horizontal stacked bars (the
+  dashboard's latency-attribution panel).
 """
 
 from __future__ import annotations
@@ -321,6 +323,125 @@ def svg_line_chart(
         parts.append(
             f'<text x="{legend_x + 16}" y="{y + 1}" '
             f'fill="var(--text-primary, #0b0b0b)">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_stacked_bars(
+    bars: Sequence[tuple[str, Sequence[float]]],
+    segments: Sequence[str],
+    *,
+    width: int = 640,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render ``[(bar label, values per segment), ...]`` as horizontal
+    stacked bars (the dashboard's latency-breakdown primitive).
+
+    Pure stdlib, same conventions as :func:`svg_line_chart`: segment
+    colors come from :data:`SVG_SERIES_COLORS` in fixed assignment order
+    (color follows the segment identity, never its rank), referenced as
+    CSS custom properties with hex fallbacks; adjacent fills are
+    separated by a 2px surface gap; every segment carries a native
+    ``<title>`` tooltip; legend text stays in ink.  Zero-valued segments
+    are skipped.
+    """
+    if not bars:
+        raise ValueError("bars must be non-empty")
+    for label, values in bars:
+        if len(values) != len(segments):
+            raise ValueError(
+                f"bar {label!r}: expected {len(segments)} segment values, "
+                f"got {len(values)}"
+            )
+    totals = [sum(values) for _, values in bars]
+    x_max = max(totals) or 1.0
+    margin_l, margin_r, margin_t = 150, 70, 28 if title else 12
+    bar_h, bar_gap = 22, 10
+    legend_cols = 3
+    legend_rows = (len(segments) + legend_cols - 1) // legend_cols
+    axis_h = 34 if x_label else 22
+    legend_top = margin_t + len(bars) * (bar_h + bar_gap) + axis_h
+    height = legend_top + legend_rows * 18 + 6
+    plot_w = width - margin_l - margin_r
+
+    def color(index: int) -> str:
+        return (
+            f"var(--series-{index + 1}, "
+            f"{SVG_SERIES_COLORS[index % len(SVG_SERIES_COLORS)]})"
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'font-family="system-ui, sans-serif" font-size="11">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin_l}" y="16" font-size="13" font-weight="600" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(title)}</text>'
+        )
+    # Recessive vertical grid + x tick labels.
+    axis_y = margin_t + len(bars) * (bar_h + bar_gap)
+    for tick in _svg_ticks(0.0, x_max):
+        x = margin_l + tick / x_max * plot_w
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{axis_y - bar_gap + 4}" stroke="var(--grid, #e6e4df)" '
+            f'stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 8}" text-anchor="middle" '
+            f'fill="var(--text-secondary, #52514e)">{_fmt_tick(tick)}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.1f}" y="{axis_y + 24}" '
+            f'text-anchor="middle" fill="var(--text-secondary, #52514e)">'
+            f"{html.escape(x_label)}</text>"
+        )
+    for row, (label, values) in enumerate(bars):
+        y = margin_t + row * (bar_h + bar_gap)
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'text-anchor="end" fill="var(--text-primary, #0b0b0b)">'
+            f"{html.escape(label)}</text>"
+        )
+        total = totals[row]
+        cursor = float(margin_l)
+        for index, value in enumerate(values):
+            if value <= 0:
+                continue
+            seg_w = value / x_max * plot_w
+            # 2px surface gap between adjacent fills (kept visible by
+            # clamping very thin segments to 1px).
+            draw_w = max(1.0, seg_w - 2.0)
+            pct = value / total if total else 0.0
+            parts.append(
+                f'<rect x="{cursor:.1f}" y="{y}" width="{draw_w:.1f}" '
+                f'height="{bar_h}" fill="{color(index)}"><title>'
+                f"{html.escape(label)} · {html.escape(str(segments[index]))}: "
+                f"{_fmt_tick(value)} ({pct:.1%})</title></rect>"
+            )
+            cursor += seg_w
+        parts.append(
+            f'<text x="{cursor + 6:.1f}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'fill="var(--text-secondary, #52514e)">{_fmt_tick(total)}</text>'
+        )
+    # Legend grid: swatch + ink text, fixed segment order.
+    col_w = (width - margin_l // 2) // legend_cols
+    for index, segment in enumerate(segments):
+        x = 16 + (index % legend_cols) * col_w
+        y = legend_top + (index // legend_cols) * 18
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="10" height="10" rx="2" '
+            f'fill="{color(index)}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 16}" y="{y + 9}" '
+            f'fill="var(--text-primary, #0b0b0b)">'
+            f"{html.escape(str(segment))}</text>"
         )
     parts.append("</svg>")
     return "".join(parts)

@@ -1,0 +1,312 @@
+"""Tests for per-packet latency attribution (``repro.telemetry.attribution``).
+
+The load-bearing property is the conservation invariant: every measured
+packet's stage cycles sum exactly to its measured latency, across every
+interface family and dispatch policy.  The sweep tests below would fail
+with an :class:`AttributionError` at the first packet whose timeline
+leaks or double-counts a cycle.
+"""
+
+import csv
+import math
+
+import pytest
+
+from repro.noc.channel import ChannelKind
+from repro.noc.flit import Packet
+from repro.noc.link import TRAVERSAL_STAGES
+from repro.sim.config import SimConfig
+from repro.sim.experiment import run_synthetic
+from repro.telemetry import (
+    EVENT_NAMES,
+    STAGES,
+    AttributionError,
+    LatencyLedger,
+    TelemetryConfig,
+    render_breakdown,
+)
+from repro.topology.system import build_system
+
+from .helpers import build_chain, run_cycles
+
+
+def run_with_ledger(family, grid, *, rate, policy=None, seed=3,
+                    cycles=2_000, warmup=200):
+    spec = build_system(family, grid, SimConfig(
+        sim_cycles=cycles, warmup_cycles=warmup
+    ))
+    result = run_synthetic(
+        spec, "uniform", rate, policy=policy, seed=seed,
+        telemetry=TelemetryConfig(latency_breakdown=True),
+    )
+    return result, result.telemetry.ledger
+
+
+# -- taxonomy consistency ----------------------------------------------------
+def test_link_traversal_stages_match_ledger_taxonomy():
+    # Every channel kind maps to a ledger stage (None: hetero-PHY, whose
+    # traversal is split into the phy_* / rob stages by the ledger).
+    assert set(TRAVERSAL_STAGES) == set(ChannelKind)
+    for kind, stage in TRAVERSAL_STAGES.items():
+        if kind is ChannelKind.HETERO_PHY:
+            assert stage is None
+        else:
+            assert stage in STAGES
+    assert len(set(STAGES)) == len(STAGES)
+
+
+def test_ledger_subscribes_and_detach_restores_fast_path():
+    network, _stats = build_chain(2)
+    ledger = LatencyLedger(network)
+    subscribed = {
+        name for name in EVENT_NAMES
+        if getattr(network.telemetry, name) is not None
+    }
+    assert "route_compute" in subscribed and "vc_alloc" in subscribed
+    ledger.detach()
+    for name in EVENT_NAMES:
+        assert getattr(network.telemetry, name) is None
+    ledger.detach()  # idempotent
+
+
+# -- exact attribution on hand-built chains ----------------------------------
+def test_single_packet_onchip_chain_exact_stages():
+    network, stats = build_chain(2)
+    ledger = LatencyLedger(network)
+    network.inject(Packet(0, 1, 4, 0))
+    run_cycles(network, 40)
+    assert ledger.packets == 1 and ledger.in_flight == 0
+    totals = ledger.stage_totals()
+    # Idle chain, bandwidth 2: the tail leaves two cycles after creation
+    # (switch serialization) and crosses one 1-cycle on-chip channel.
+    assert {k: v for k, v in totals.items() if v} == {
+        "switch_wait": 2, "link_onchip": 1,
+    }
+    assert sum(totals.values()) == sum(stats.latencies) == 3
+    [(msg_class, profile, stages, total)] = ledger._packets
+    assert msg_class == "data" and profile == "onchip"
+    assert sum(stages) == total == 3
+
+
+def test_single_packet_hetero_chain_uses_phy_stages():
+    network, stats = build_chain(2, ChannelKind.HETERO_PHY)
+    ledger = LatencyLedger(network)
+    network.inject(Packet(0, 1, 4, 0))
+    run_cycles(network, 80)
+    assert ledger.packets == 1
+    totals = ledger.stage_totals()
+    assert sum(totals.values()) == sum(stats.latencies)
+    # Hetero-PHY traversal is decomposed into adapter stages, never the
+    # pipelined link_* buckets.
+    assert totals["phy_tx_queue"] + totals["phy_parallel"] + totals["phy_serial"] > 0
+    assert totals["link_onchip"] == totals["link_parallel"] == totals["link_serial"] == 0
+    [(_cls, profile, _stages, _total)] = ledger._packets
+    assert profile == "hetero_phy"
+
+
+def test_single_packet_serial_chain_profile_and_stage():
+    network, stats = build_chain(2, ChannelKind.SERIAL)
+    ledger = LatencyLedger(network)
+    network.inject(Packet(0, 1, 4, 0))
+    run_cycles(network, 80)
+    totals = ledger.stage_totals()
+    assert totals["link_serial"] > 0 and totals["link_onchip"] == 0
+    assert sum(totals.values()) == sum(stats.latencies)
+    [(_cls, profile, _stages, _total)] = ledger._packets
+    assert profile == "serial"
+
+
+def test_measure_from_excludes_warmup_packets():
+    network, _stats = build_chain(2)
+    ledger = LatencyLedger(network, measure_from=10)
+    network.inject(Packet(0, 1, 4, 0))     # warm-up: ignored entirely
+    run_cycles(network, 20)
+    network.inject(Packet(0, 1, 4, 20))    # measured
+    run_cycles(network, 20, start=20)
+    assert ledger.packets == 1
+    assert ledger.in_flight == 0
+
+
+# -- conservation invariant across families and policies ---------------------
+@pytest.mark.parametrize("family,policy,rate", [
+    ("parallel_mesh", None, 0.05),
+    ("parallel_mesh", None, 0.30),
+    ("hetero_phy_torus", "performance", 0.05),
+    ("hetero_phy_torus", "performance", 0.30),
+    ("hetero_phy_torus", "energy_efficient", 0.30),
+    ("serial_torus", None, 0.20),
+])
+def test_conservation_across_families(family, policy, rate, small_grid):
+    result, ledger = run_with_ledger(family, small_grid, rate=rate, policy=policy)
+    stats = result.stats
+    assert ledger.packets == stats.packets_delivered > 0
+    # Aggregate conservation: attributed cycles == measured latency cycles.
+    assert sum(ledger.stage_totals().values()) == sum(stats.latencies)
+    assert ledger.total_cycles == sum(stats.latencies)
+    # Per-packet conservation (the eject handler also enforces this live).
+    for _cls, _profile, stages, total in ledger._packets:
+        assert sum(stages) == total
+
+
+def test_runresult_breakdown_properties(small_grid):
+    result, ledger = run_with_ledger(
+        "hetero_phy_torus", small_grid, rate=0.1, policy="performance"
+    )
+    assert result.stage_totals == ledger.stage_totals()
+    breakdown = result.latency_breakdown
+    assert breakdown["packets"] == ledger.packets
+    assert breakdown["avg_latency"] == pytest.approx(result.avg_latency)
+    # Interface-profile grouping covers every measured packet.
+    assert sum(
+        group["packets"] for group in breakdown["by_interface"].values()
+    ) == ledger.packets
+    # The session detached the ledger: the bus is back to the fast path.
+    for name in EVENT_NAMES:
+        assert getattr(result.telemetry.network.telemetry, name) is None
+
+
+def test_disabled_by_default_attaches_no_ledger(small_grid):
+    spec = build_system("parallel_mesh", small_grid, SimConfig(
+        sim_cycles=600, warmup_cycles=60
+    ))
+    result = run_synthetic(spec, "uniform", 0.05, telemetry=TelemetryConfig())
+    assert result.telemetry.ledger is None
+    assert result.stage_totals is None
+    assert result.latency_breakdown is None
+
+
+def test_ledger_is_a_passive_observer(small_grid):
+    # Attaching the ledger must not perturb the simulation: identical
+    # seeds produce identical statistics with and without it.
+    spec = build_system("hetero_phy_torus", small_grid, SimConfig(
+        sim_cycles=1_000, warmup_cycles=100
+    ))
+    plain = run_synthetic(spec, "uniform", 0.15, policy="performance", seed=5)
+    observed = run_synthetic(
+        spec, "uniform", 0.15, policy="performance", seed=5,
+        telemetry=TelemetryConfig(latency_breakdown=True),
+    )
+    assert plain.stats.summary() == observed.stats.summary()
+
+
+# -- invariant violations raise, loudly --------------------------------------
+def test_timeline_gap_raises_attribution_error():
+    network, _stats = build_chain(2)
+    ledger = LatencyLedger(network)
+    packet = Packet(0, 1, 1, 0)
+    network.telemetry.packet_inject(network, packet)
+    with pytest.raises(AttributionError, match="timeline ends at cycle 0"):
+        network.telemetry.packet_eject(network.routers[1], packet, 5)
+    assert ledger.packets == 0
+
+
+def test_stage_sum_mismatch_raises_attribution_error():
+    network, _stats = build_chain(2)
+    ledger = LatencyLedger(network)
+    packet = Packet(0, 1, 1, 0)
+    network.telemetry.packet_inject(network, packet)
+    state = ledger._live[packet.pid]
+    state.t_last = 7  # timeline reaches the eject cycle, but no stage does
+    with pytest.raises(AttributionError, match="attributed 0 cycles"):
+        network.telemetry.packet_eject(network.routers[1], packet, 7)
+
+
+# -- bottleneck attribution ---------------------------------------------------
+def test_bottleneck_tables_rank_congested_links(small_grid):
+    result, ledger = run_with_ledger("serial_torus", small_grid, rate=0.30)
+    links = ledger.bottleneck_links(top=5)
+    assert 0 < len(links) <= 5
+    queues = [entry["queue_cycles"] for entry in links]
+    assert queues == sorted(queues, reverse=True)
+    for entry in links:
+        spec = result.telemetry.network.links[entry["link"]].spec
+        assert (entry["src"], entry["dst"]) == (spec.src, spec.dst)
+        assert entry["kind"] == spec.kind.value
+        assert entry["packets"] >= 0 and entry["stall_cycles"] >= 0
+    routers = ledger.bottleneck_routers(top=5)
+    assert routers and routers[0]["queue_cycles"] >= routers[-1]["queue_cycles"]
+    # top=0 means unbounded.
+    assert len(ledger.bottleneck_links(top=0)) >= len(links)
+
+
+def test_bottleneck_queue_cycles_are_covered_by_queueing_stages(small_grid):
+    _result, ledger = run_with_ledger(
+        "hetero_phy_torus", small_grid, rate=0.30, policy="performance"
+    )
+    totals = ledger.stage_totals()
+    queueing = (
+        totals["va_wait"] + totals["credit_stall"] + totals["switch_wait"]
+        + totals["ejection"] + totals["phy_tx_queue"] + totals["rob_wait"]
+    )
+    attributed = sum(
+        entry["queue_cycles"] for entry in ledger.bottleneck_links(top=0)
+    ) + sum(
+        entry["queue_cycles"] for entry in ledger.bottleneck_routers(top=0)
+    )
+    # Router-side queueing is double-listed (per link AND per router), and
+    # ejection-port waits land on routers only — but nothing outside the
+    # queueing stages ever reaches a bottleneck table.
+    assert attributed <= 2 * queueing
+    assert attributed > 0
+
+
+# -- summary / CSV / rendering ------------------------------------------------
+def test_summary_and_record_summary_shape(small_grid):
+    _result, ledger = run_with_ledger(
+        "hetero_phy_torus", small_grid, rate=0.1, policy="performance"
+    )
+    summary = ledger.summary()
+    assert set(summary) == {
+        "packets", "avg_latency", "total_cycles", "stages", "by_class",
+        "by_interface", "bottleneck_links", "bottleneck_routers",
+    }
+    assert set(summary["stages"]) == set(STAGES)
+    for cell in summary["stages"].values():
+        assert set(cell) == {"total", "share", "mean", "p50", "p95", "p99"}
+    shares = sum(cell["share"] for cell in summary["stages"].values())
+    assert shares == pytest.approx(1.0)
+    record = ledger.record_summary()
+    assert set(record) == {"packets", "avg_latency", "stages", "bottleneck_links"}
+    assert record["stages"] == summary["stages"]
+
+
+def test_empty_ledger_summary_is_sane():
+    network, _stats = build_chain(2)
+    ledger = LatencyLedger(network)
+    summary = ledger.summary()
+    assert summary["packets"] == 0 and summary["avg_latency"] == 0.0
+    assert all(math.isnan(cell["p50"]) for cell in summary["stages"].values())
+    assert summary["bottleneck_links"] == []
+    text = render_breakdown(summary)
+    assert "0 packets" in text
+
+
+def test_write_csv_scopes_and_columns(tmp_path, small_grid):
+    _result, ledger = run_with_ledger(
+        "hetero_phy_torus", small_grid, rate=0.1, policy="performance"
+    )
+    path = ledger.write_csv(tmp_path / "nested" / "breakdown.csv")
+    with path.open(newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows, "CSV must contain stage rows"
+    header = list(rows[0])
+    assert header == ["scope", "packets", "stage", "total_cycles", "share",
+                      "mean", "p50", "p95", "p99"]
+    scopes = {row["scope"] for row in rows}
+    assert "all" in scopes
+    assert any(scope.startswith("iface:") for scope in scopes)
+    all_rows = [row for row in rows if row["scope"] == "all"]
+    assert [row["stage"] for row in all_rows] == list(STAGES)
+    assert sum(int(row["total_cycles"]) for row in all_rows) == ledger.total_cycles
+
+
+def test_render_breakdown_text(small_grid):
+    _result, ledger = run_with_ledger("serial_torus", small_grid, rate=0.20)
+    text = render_breakdown(ledger.summary())
+    assert "latency breakdown" in text
+    assert "link_serial" in text
+    assert "top bottleneck links" in text
+    assert "top bottleneck routers" in text
+    # Zero stages are hidden unless asked for.
+    assert "phy_tx_queue" not in text
+    assert "phy_tx_queue" in render_breakdown(ledger.summary(), show_zero=True)

@@ -195,6 +195,10 @@ def test_run_bench_single_case_smoke():
     assert len(measured["cps"]["samples"]) == 1  # warm-up rep discarded
     assert measured["events"]["flit_send"] > 0
     assert measured["events"]["packet_inject"] > 0
+    # The census tracks the full taxonomy, including the pipeline events
+    # added for latency attribution.
+    assert measured["events"]["route_compute"] > 0
+    assert measured["events"]["vc_alloc"] > 0
     assert math.isfinite(measured["stats"]["avg_latency"])
     assert len(measured["config_hash"]) == 12
     text = render_bench(doc)

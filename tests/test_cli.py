@@ -234,6 +234,43 @@ def test_simulate_records_run_and_prints_manifest(tmp_path, capsys):
     assert records[0].run_id in manifest.group(1)
 
 
+def test_simulate_latency_breakdown(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    csv_path = tmp_path / "breakdown.csv"
+    code = main(
+        [
+            *SIM_ARGS,
+            "--latency-breakdown",
+            "--breakdown-csv",
+            str(csv_path),
+            "--runs-dir",
+            str(runs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "latency breakdown" in out
+    assert "top bottleneck links" in out
+    assert f"breakdown_csv={csv_path}" in out
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "scope,packets,stage,total_cycles,share,mean,p50,p95,p99"
+    assert any(line.startswith("all,") for line in lines[1:])
+    from repro.telemetry.runstore import RunStore
+
+    [record] = RunStore(runs_dir).load()
+    assert record.breakdown["packets"] > 0
+    assert record.artifacts["breakdown_csv"] == str(csv_path)
+
+
+def test_simulate_breakdown_flag_alone_prints_tables(capsys):
+    # --latency-breakdown without a CSV path still prints the tables and
+    # never writes artifacts.
+    assert main([*SIM_ARGS, "--latency-breakdown", "--no-record"]) == 0
+    out = capsys.readouterr().out
+    assert "latency breakdown" in out
+    assert "breakdown_csv=" not in out
+
+
 def test_simulate_plain_run_prints_no_manifest(tmp_path, capsys):
     assert main([*SIM_ARGS, "--runs-dir", str(tmp_path), "--no-record"]) == 0
     out = capsys.readouterr().out

@@ -71,3 +71,53 @@ def test_write_dashboard_creates_parents(tmp_path):
     out = write_dashboard(tmp_path / "deep" / "dashboard.html", results, scale="tiny")
     assert out.is_file()
     assert out.read_text().startswith("<!DOCTYPE html>")
+
+
+def make_breakdown(**stage_means) -> dict:
+    """A minimal ``LatencyLedger.record_summary``-shaped payload."""
+    stages = {
+        name: {"total": mean * 100, "share": 0.5, "mean": mean,
+               "p50": mean, "p95": mean * 2, "p99": mean * 3}
+        for name, mean in stage_means.items()
+    }
+    return {
+        "packets": 100,
+        "avg_latency": sum(m for m in stage_means.values()),
+        "stages": stages,
+        "bottleneck_links": [
+            {"link": 4, "src": 3, "dst": 12, "kind": "serial",
+             "queue_cycles": 640, "stall_cycles": 200, "packets": 42},
+        ],
+    }
+
+
+def test_dashboard_breakdown_section(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    store = RunStore(runs)
+    store.append(make_record(label="plain"))  # no breakdown: skipped
+    store.append(make_record(
+        label="attributed",
+        breakdown=make_breakdown(switch_wait=4.0, link_serial=16.0),
+    ))
+
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "Latency attribution" in page
+    assert page.count("<svg") == 2  # fig11 curves + the stacked bars
+    assert "mean cycles per packet" in page
+    assert "link_serial" in page and "switch_wait" in page
+    assert "stage table (latest run)" in page
+    assert "top bottleneck links" in page
+    assert "3&rarr;12" in page  # the congested serial link row
+    assert "no runs with a latency breakdown yet" not in page
+
+
+def test_dashboard_breakdown_empty_state(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    RunStore(runs).append(make_record(label="plain"))
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "no runs with a latency breakdown yet" in page
+    assert "--latency-breakdown" in page

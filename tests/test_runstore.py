@@ -153,3 +153,48 @@ def test_record_from_real_run(tmp_path):
     store = RunStore(tmp_path)
     store.append(record)
     assert store.load() == [record]
+
+
+def test_breakdown_roundtrips_and_old_records_load(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    breakdown = {
+        "packets": 7,
+        "avg_latency": 21.5,
+        "stages": {"switch_wait": {"total": 70, "share": 1.0, "mean": 10.0,
+                                   "p50": 10, "p95": 12, "p99": 14}},
+        "bottleneck_links": [{"link": 0, "src": 0, "dst": 1, "kind": "onchip",
+                              "queue_cycles": 70, "stall_cycles": 3,
+                              "packets": 7}],
+    }
+    store.append(make_record(label="with", breakdown=breakdown))
+    # A record written before the field existed: same schema, no key.
+    old = make_record(label="without").to_dict()
+    del old["breakdown"]
+    with store.path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(old) + "\n")
+
+    loaded = store.load()
+    assert loaded[0].breakdown == breakdown
+    assert loaded[1].breakdown == {}  # default for pre-breakdown records
+
+
+def test_record_from_result_captures_ledger_breakdown(tmp_path):
+    from repro.telemetry import TelemetryConfig
+
+    grid = ChipletGrid(2, 2, 2, 2)
+    spec = build_system("parallel_mesh", grid, SimConfig().scaled(600))
+    plain = run_synthetic(spec, "uniform", 0.1, seed=3)
+    assert record_from_result(plain, git_rev="x").breakdown == {}
+
+    result = run_synthetic(
+        spec, "uniform", 0.1, seed=3,
+        telemetry=TelemetryConfig(latency_breakdown=True),
+    )
+    record = record_from_result(result, git_rev="x")
+    assert record.breakdown["packets"] == result.stats.packets_delivered
+    assert set(record.breakdown) == {
+        "packets", "avg_latency", "stages", "bottleneck_links",
+    }
+    store = RunStore(tmp_path)
+    store.append(record)
+    assert store.load() == [record]

@@ -6,7 +6,7 @@ import pytest
 
 from repro.noc.channel import ChannelKind, KIND_IDS
 from repro.noc.flit import Packet
-from repro.sim.stats import DeadlockError, Stats
+from repro.sim.stats import DeadlockError, Stats, percentile
 
 
 def delivered_packet(create=0, arrive=30, length=4):
@@ -110,6 +110,25 @@ def test_percentile_interpolation_boundaries():
     assert stats.latency_percentile(50) == pytest.approx(10)
     assert stats.latency_percentile(50.1) == pytest.approx(20)
     assert stats.latency_percentile(100) == pytest.approx(20)
+
+
+def test_percentile_helper_validation_names_offending_value():
+    # The module helper backs both Stats.latency_percentile and the
+    # latency ledger's aggregates; its error names the bad input.
+    for bad in (0, -1, 100.5, 101):
+        with pytest.raises(ValueError, match=rf"\(0, 100\], got {bad}"):
+            percentile([1, 2, 3], bad)
+    with pytest.raises(ValueError, match="got nan"):
+        percentile([1, 2, 3], math.nan)
+    assert math.isnan(percentile([], 50))
+
+
+def test_percentile_helper_presorted_skips_sorting():
+    values = [30, 10, 20]
+    assert percentile(values, 100) == pytest.approx(30)
+    # presorted=True trusts the caller's order: the last element wins p100.
+    assert percentile(values, 100, presorted=True) == pytest.approx(20)
+    assert values == [30, 10, 20]  # never mutated either way
 
 
 def test_throughput():

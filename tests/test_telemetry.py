@@ -93,6 +93,10 @@ def test_chain_emits_lifecycle_events():
     assert counts["packet_inject"] == 1
     assert counts["packet_eject"] == 1
     assert counts["cycle_end"] == 50
+    # One RC and one VC-allocation grant per router the head visits
+    # (two forwarding hops + the ejection allocation at the destination).
+    assert counts["route_compute"] == 3
+    assert counts["vc_alloc"] == 3
     # 4 flits cross two links each; every hop is one accept + one recv.
     assert counts["link_accept"] == 8
     assert counts["flit_recv"] == 8
@@ -116,6 +120,36 @@ def test_hetero_phy_chain_emits_phy_and_rob_events():
     # Every flit passes the reorder buffer in and out exactly once.
     assert len(events["rob_insert"]) == 4
     assert len(events["rob_release"]) == 4
+
+
+def test_subscribers_dispatch_in_subscription_order():
+    """Collectors coexist: earlier subscribers run first on every event.
+
+    The latency ledger relies on this — subscribed before a reporting
+    probe, its attribution for a packet is complete by the time the probe
+    sees the same ``packet_eject``.
+    """
+    from repro.telemetry import LatencyLedger
+
+    network, stats = build_chain(3)
+    stream = io.StringIO()
+    reporter = ProgressReporter(network, every_cycles=10, stream=stream)
+    ledger = LatencyLedger(network)
+    observed = []
+    network.telemetry.subscribe(
+        "packet_eject",
+        lambda router, packet, now: observed.append(ledger.packets),
+    )
+    network.inject(Packet(0, 2, 4, 0))
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 50)
+    reporter.close()
+    # Subscription order == dispatch order: the ledger had already
+    # attributed packet N when the probe observed ejection N.
+    assert observed == [1, 2]
+    assert ledger.packets == stats.packets_delivered == 2
+    assert sum(ledger.stage_totals().values()) == sum(stats.latencies)
+    assert reporter.updates == 5  # the reporter ran alongside, unaffected
 
 
 def test_detached_probe_restores_fast_path():
@@ -342,11 +376,15 @@ def test_run_synthetic_telemetry_session(tmp_path, small_grid):
         trace_path=tmp_path / "trace.json",
         epoch_length=400,
         profile=True,
+        breakdown_csv=tmp_path / "breakdown.csv",  # implies the ledger
     )
     result = run_synthetic(spec, "uniform", 0.05, telemetry=config)
     session = result.telemetry
     assert session is not None
     assert (tmp_path / "metrics" / "epochs.csv").is_file()
+    assert session.ledger is not None
+    assert (tmp_path / "breakdown.csv") in session.written
+    assert session.ledger.packets == result.stats.packets_delivered
     assert json.loads((tmp_path / "trace.json").read_text())["traceEvents"]
     assert "function calls" in session.profile_text
     # Warm-up exclusion: the first epoch (start 0 < 200) is flagged.

@@ -137,3 +137,48 @@ def test_svg_line_chart_skips_nan_and_validates():
         svg_line_chart([], title="t", x_label="x", y_label="y")
     with pytest.raises(ValueError):
         svg_line_chart([("s", [1.0], [])], title="t", x_label="x", y_label="y")
+
+
+def test_svg_stacked_bars_structure():
+    from repro.viz import svg_stacked_bars
+
+    svg = svg_stacked_bars(
+        [
+            ("run A", [10.0, 5.0, 0.0, 2.0]),
+            ("run B", [8.0, 0.0, 3.0, 1.0]),
+        ],
+        ["source_queue", "va_wait", "link_serial", "ejection"],
+        title="latency breakdown",
+        x_label="cycles",
+    )
+    assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+    # Zero-valued segments are skipped: 3 drawn per bar, each with a
+    # native tooltip naming bar, segment, value and share.
+    assert svg.count("<title>") == 6
+    assert "run A · source_queue: 10" in svg
+    assert "(58.8%)" in svg  # 10 / 17
+    # Color follows segment identity in fixed assignment order.
+    assert "var(--series-1" in svg and "var(--series-4" in svg
+    assert "latency breakdown" in svg and "cycles" in svg
+    # Legend carries every segment name even when a bar skips it.
+    for name in ("source_queue", "va_wait", "link_serial", "ejection"):
+        assert svg.count(name) >= 1
+    # Totals are annotated at the bar ends in ink, not series color.
+    assert ">17<" in svg and ">12<" in svg
+
+
+def test_svg_stacked_bars_validation():
+    from repro.viz import svg_stacked_bars
+
+    with pytest.raises(ValueError, match="non-empty"):
+        svg_stacked_bars([], ["a"])
+    with pytest.raises(ValueError, match="expected 2 segment values"):
+        svg_stacked_bars([("bar", [1.0])], ["a", "b"])
+
+
+def test_svg_stacked_bars_all_zero_bar_renders():
+    from repro.viz import svg_stacked_bars
+
+    svg = svg_stacked_bars([("idle", [0.0, 0.0])], ["a", "b"], title="t")
+    assert svg.count("<title>") == 0  # nothing to draw, nothing to tip
+    assert "idle" in svg  # the bar label still appears
