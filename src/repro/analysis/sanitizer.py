@@ -243,6 +243,41 @@ class InvariantChecker:
             raise InvariantViolation(
                 "NO-PROGRESS",
                 f"{buffered} flits buffered with no movement for "
-                f"{now - self._last_movement} cycles (runtime deadlock)",
+                f"{now - self._last_movement} cycles (runtime deadlock): "
+                + self._describe_stall(now),
             )
         self._last_movement = now
+
+    def _describe_stall(self, now: int) -> str:
+        """Name the stalled routers and the oldest blocked flit.
+
+        Gives the watchdog's one-line report enough detail to start
+        debugging without a postmortem bundle: the routers holding the
+        most flits, and where the longest-suffering packet is stuck.
+        """
+        stalled = sorted(
+            (
+                (router.buffered_flits(), router.node)
+                for router in self.network.routers
+            ),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        tops = [f"node {node}: {flits}" for flits, node in stalled[:4] if flits > 0]
+        oldest: Optional[tuple[int, int, int, int, int]] = None
+        for router in self.network.routers:
+            for port in router.inputs:
+                for ivc in port.vcs:
+                    if not ivc.queue:
+                        continue
+                    packet = ivc.queue[0].packet
+                    age = now - packet.create_cycle
+                    if oldest is None or age > oldest[0]:
+                        oldest = (age, router.node, port.index, ivc.index, packet.pid)
+        detail = f"stalled routers [{', '.join(tops)}]"
+        if oldest is not None:
+            age, node, port_idx, vc_idx, pid = oldest
+            detail += (
+                f"; oldest blocked flit: packet {pid} at node {node} "
+                f"port {port_idx} vc {vc_idx}, {age} cycles old"
+            )
+        return detail

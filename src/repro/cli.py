@@ -13,11 +13,18 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
     repro compare BENCH_0.json BENCH_1.json --strict
     repro dashboard --out dashboard.html
+    repro postmortem forensics/BUNDLE_deadlock_557.json --html report.html
 
 Output is the plain-text table of the experiment (add ``--csv`` for CSV).
 ``repro check`` prints one findings report per verified system and exits
 non-zero if any report contains an error — the CI deadlock/livelock/lint
 gate (see docs/analysis.md).
+
+When a simulation wedges (deadlock, drain timeout, invariant violation),
+``repro simulate`` writes a postmortem bundle into ``forensics/`` and
+exits with status 3, printing the bundle path; ``repro postmortem``
+renders a bundle as a report or self-contained HTML page (see
+docs/observability.md).  ``--no-forensics`` disables the capture.
 
 Every ``repro run`` / ``repro simulate`` appends one structured record to
 the append-only run registry (``runs/runs.jsonl`` by default; ``--runs-dir``
@@ -73,7 +80,10 @@ def _cmd_run(args) -> int:
     git_rev = git_revision() if store else "unknown"
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](args.scale)
+        try:
+            result = EXPERIMENTS[name](args.scale)
+        except (RuntimeError, AssertionError) as exc:
+            return _report_failure(name, exc)
         elapsed = time.perf_counter() - start
         if args.csv:
             print(result.to_csv())
@@ -98,6 +108,22 @@ def _cmd_run(args) -> int:
             )
         print()
     return 0
+
+
+def _report_failure(label: str, exc: BaseException) -> int:
+    """Report a wedged run on stderr and return the failure exit status.
+
+    Deadlocks, drain timeouts and invariant violations all land here; when
+    the engine captured a postmortem bundle its path rides on the
+    exception so the next command is obvious.
+    """
+    kind = type(exc).__name__
+    print(f"{label}: {kind}: {exc}", file=sys.stderr)
+    bundle = getattr(exc, "bundle_path", None)
+    if bundle:
+        print(f"postmortem bundle: {bundle}", file=sys.stderr)
+        print(f"inspect it with: repro postmortem {bundle}", file=sys.stderr)
+    return 3
 
 
 def _require_results_dir(results_dir: Path) -> Path:
@@ -127,8 +153,14 @@ def _cmd_simulate(args) -> int:
     spec = build_system(args.family, grid, config)
     telemetry = None
     breakdown_wanted = args.latency_breakdown or args.breakdown_csv
-    if (args.metrics or args.trace or args.profile or args.progress
-            or breakdown_wanted):
+    epoch_wanted = bool(
+        args.metrics or args.trace or args.profile or args.progress
+        or breakdown_wanted
+    )
+    forensics_wanted = (
+        not args.no_forensics or args.flight_recorder or args.health
+    )
+    if epoch_wanted or forensics_wanted:
         from repro.telemetry import TelemetryConfig
 
         telemetry = TelemetryConfig(
@@ -139,15 +171,30 @@ def _cmd_simulate(args) -> int:
             profile=args.profile,
             latency_breakdown=bool(breakdown_wanted),
             breakdown_csv=args.breakdown_csv,
+            # A forensics-only config must not attach the epoch collector:
+            # plain runs stay zero-subscriber so same-seed invocations
+            # keep printing byte-identical output.
+            epoch_metrics=epoch_wanted,
+            forensics=forensics_wanted,
+            bundle_dir=args.forensics_dir,
+            flight_recorder=args.flight_recorder,
+            recorder_window=args.recorder_window,
+            recorder_events=args.recorder_events,
+            health=args.health,
+            health_every=args.health_every,
+            health_stream=sys.stderr if args.health else None,
         )
-    result = run_synthetic(
-        spec,
-        args.pattern,
-        args.rate,
-        policy=args.policy,
-        seed=args.seed,
-        telemetry=telemetry,
-    )
+    try:
+        result = run_synthetic(
+            spec,
+            args.pattern,
+            args.rate,
+            policy=args.policy,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+    except (RuntimeError, AssertionError) as exc:
+        return _report_failure(spec.name, exc)
     print(f"system   : {spec.name}")
     print(f"workload : {result.workload} ({grid.n_nodes} nodes, {args.cycles} cycles)")
     print(f"policy   : {result.policy}")
@@ -194,6 +241,25 @@ def _cmd_simulate(args) -> int:
     if result.telemetry is not None and result.telemetry.profile_text:
         print()
         print(result.telemetry.profile_text.rstrip())
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    from repro.telemetry.forensics import (
+        load_bundle,
+        render_bundle_html,
+        render_bundle_text,
+    )
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load bundle {args.bundle}: {exc}") from None
+    print(render_bundle_text(bundle, tail=args.tail))
+    if args.html:
+        out = Path(args.html)
+        out.write_text(render_bundle_html(bundle), encoding="utf-8")
+        print(f"wrote {out}")
     return 0
 
 
@@ -387,8 +453,76 @@ def main(argv: list[str] | None = None) -> int:
         help="write the per-stage breakdown CSV here (implies "
         "--latency-breakdown)",
     )
+    sim_p.add_argument(
+        "--no-forensics",
+        action="store_true",
+        help="do not capture a postmortem bundle when the run wedges "
+        "(deadlock / drain timeout / invariant violation)",
+    )
+    sim_p.add_argument(
+        "--forensics-dir",
+        metavar="DIR",
+        default="forensics",
+        help="where postmortem bundles go (default: forensics/)",
+    )
+    sim_p.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help="keep a bounded ring buffer of recent telemetry events; its "
+        "tail lands in the postmortem bundle",
+    )
+    sim_p.add_argument(
+        "--recorder-window",
+        type=int,
+        default=4096,
+        metavar="CYCLES",
+        help="flight-recorder retention window in cycles (default: 4096)",
+    )
+    sim_p.add_argument(
+        "--recorder-events",
+        choices=("packet", "route", "full"),
+        default="packet",
+        help="flight-recorder event preset: 'packet' records the packet "
+        "lifecycle + credit stalls (low overhead), 'route' adds per-hop "
+        "routing/VC-allocation events, 'full' records every event "
+        "(default: packet)",
+    )
+    sim_p.add_argument(
+        "--health",
+        action="store_true",
+        help="probe throughput / stall rate / occupancy / oldest-packet "
+        "age periodically and flag anomalies live on stderr",
+    )
+    sim_p.add_argument(
+        "--health-every",
+        type=int,
+        default=2_000,
+        metavar="CYCLES",
+        help="health-probe period in cycles (default: 2000)",
+    )
     add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)
+
+    pm_p = sub.add_parser(
+        "postmortem",
+        help="render a forensics bundle captured from a wedged run",
+    )
+    pm_p.add_argument("bundle", help="BUNDLE_<reason>_<cycle>.json path")
+    pm_p.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="also write a self-contained HTML report (wait-for graph, "
+        "occupancy heatmap, recorder tail)",
+    )
+    pm_p.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        metavar="N",
+        help="flight-recorder events to show in the text report (default: 20)",
+    )
+    pm_p.set_defaults(func=_cmd_postmortem)
 
     bench_p = sub.add_parser(
         "bench",

@@ -219,6 +219,27 @@ class HeteroPhyLink(Link):
             + self.rob.occupancy_of(vc)
         )
 
+    def snapshot_state(self) -> dict:
+        def queue(pairs: deque[tuple[Flit, int]]) -> list[dict]:
+            return [
+                {"pid": flit.packet.pid, "flit": flit.index, "vc": vc}
+                for flit, vc in pairs
+            ]
+
+        def pipe(entries: deque[tuple[int, Flit, int]]) -> list[dict]:
+            return [
+                {"due": due, "pid": flit.packet.pid, "flit": flit.index, "vc": vc}
+                for due, flit, vc in entries
+            ]
+
+        state = super().snapshot_state()
+        state["tx_fifo"] = queue(self._txq)
+        state["bypass"] = queue(self._bypassq)
+        state["parallel_pipe"] = pipe(self._par_pipe)
+        state["serial_pipe"] = pipe(self._ser_pipe)
+        state["rob"] = self.rob.snapshot_state()
+        return state
+
 
 def hetero_phy_link_factory(
     policy_factory: Callable[[], DispatchPolicy],

@@ -68,6 +68,23 @@ class ReorderBuffer:
         """Waiting flits belonging to one virtual channel."""
         return sum(1 for waiting_vc, _sn in self._waiting if waiting_vc == vc)
 
+    def waiting_flits(self) -> list[Flit]:
+        """Flits currently parked out of order (insertion order)."""
+        return list(self._waiting.values())
+
+    def snapshot_state(self) -> dict:
+        """Forensic snapshot: expected sequence numbers and parked flits."""
+        return {
+            "capacity": self.capacity,
+            "occupancy": len(self._waiting),
+            "max_occupancy": self.max_occupancy,
+            "expected": {str(vc): sn for vc, sn in sorted(self._expected.items())},
+            "waiting": [
+                {"vc": vc, "sn": sn, "pid": flit.packet.pid, "flit": flit.index}
+                for (vc, sn), flit in sorted(self._waiting.items())
+            ],
+        }
+
     def insert(self, flit: Flit, vc: int) -> None:
         if flit.sn is None:
             raise ValueError("flit has no sequence number")

@@ -144,6 +144,24 @@ class Link:
         """Flits of ``vc`` currently inside the link (pipelines, adapters)."""
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict:
+        """Forensic snapshot: endpoints, occupancy and the credit ledger.
+
+        Subclasses extend the dictionary with their internal queues; the
+        postmortem bundle (:mod:`repro.telemetry.forensics`) serializes the
+        result, so every value must be JSON-representable.
+        """
+        return {
+            "index": self._index,
+            "kind": self.spec.kind.value,
+            "src": self.spec.src,
+            "dst": self.spec.dst,
+            "occupancy": getattr(self, "occupancy", 0),
+            "pending_credits": [
+                self.pending_credits(vc) for vc in range(self.spec.n_vcs)
+            ],
+        }
+
     # -- accounting -------------------------------------------------------
     def _account(self, flit: Flit, energy_pj: float) -> None:
         """Charge link-traversal energy and hop counts to the packet.
@@ -208,3 +226,11 @@ class PipelinedLink(Link):
 
     def vc_flits(self, vc: int) -> int:
         return sum(1 for _, _, pipe_vc in self._pipe if pipe_vc == vc)
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["pipe"] = [
+            {"due": due, "pid": flit.packet.pid, "flit": flit.index, "vc": vc}
+            for due, flit, vc in self._pipe
+        ]
+        return state

@@ -411,3 +411,60 @@ class Router:
     def buffered_flits(self) -> int:
         """Total flits currently buffered at this router's input ports."""
         return sum(len(vc.queue) for port in self.inputs for vc in port.vcs)
+
+    def snapshot_state(self) -> dict:
+        """Forensic snapshot: occupied input VCs plus the credit ledger.
+
+        Consumed by the postmortem bundle (:mod:`repro.telemetry.forensics`);
+        JSON-serializable, and side-effect free so it can be taken from an
+        exception handler without perturbing the simulation.
+        """
+        state_names = ("idle", "va_wait", "active")
+        inputs = []
+        for port in self.inputs:
+            vcs = []
+            for ivc in port.vcs:
+                if not ivc.queue and ivc.state == VC_IDLE:
+                    continue
+                head = ivc.queue[0] if ivc.queue else None
+                entry: dict = {
+                    "vc": ivc.index,
+                    "occupancy": len(ivc.queue),
+                    "state": state_names[ivc.state],
+                }
+                if head is not None:
+                    entry["head"] = {
+                        "pid": head.packet.pid,
+                        "flit": head.index,
+                        "is_head": head.is_head,
+                        "dst": head.packet.dst,
+                    }
+                if ivc.state == VC_ACTIVE:
+                    entry["out_port"] = ivc.out_port
+                    entry["out_vc"] = ivc.out_vc
+                vcs.append(entry)
+            if vcs:
+                inputs.append({
+                    "port": port.index,
+                    "link": None if port.link is None else port.link.index,
+                    "vcs": vcs,
+                })
+        outputs = []
+        for out in self.outputs:
+            if out.link is None:
+                continue  # ejection: effectively infinite credits
+            outputs.append({
+                "port": out.index,
+                "link": out.link.index,
+                "credits": list(out.credits),
+                "vc_owner": [
+                    None if owner is None else [owner.port, owner.index]
+                    for owner in out.vc_owner
+                ],
+            })
+        return {
+            "node": self.node,
+            "buffered": self.buffered_flits(),
+            "inputs": inputs,
+            "outputs": outputs,
+        }

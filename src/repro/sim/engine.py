@@ -17,7 +17,7 @@ from typing import Iterable, Optional, Protocol
 
 from repro.noc.flit import Packet
 from repro.noc.network import Network
-from .stats import DeadlockError, Stats
+from .stats import DeadlockError, DrainTimeoutError, Stats
 
 
 class Workload(Protocol):
@@ -48,30 +48,83 @@ class Engine:
         self.stats = stats
         self.deadlock_threshold = deadlock_threshold
         self.cycle = 0
+        #: Optional postmortem sink (duck-typed
+        #: :class:`repro.telemetry.forensics.ForensicsSession`).  When set,
+        #: any failure escaping :meth:`run` / :meth:`run_until_drained`
+        #: writes a bundle first and gains a ``bundle_path`` attribute.
+        self.forensics = None
 
     def run(self, cycles: int) -> Stats:
         """Advance the simulation by ``cycles`` cycles."""
         end = self.cycle + cycles
-        while self.cycle < end:
-            self._tick()
+        try:
+            while self.cycle < end:
+                self._tick()
+        except (RuntimeError, AssertionError) as exc:
+            self._capture_failure(exc)
+            raise
         return self.stats
 
     def run_until_drained(self, max_cycles: int) -> Stats:
         """Run until the workload is exhausted and the network is empty.
 
         Used for trace replay, where every packet of the trace should be
-        delivered before statistics are read.  Raises ``RuntimeError`` if the
-        network fails to drain within ``max_cycles``.
+        delivered before statistics are read.  Raises
+        :class:`~repro.sim.stats.DrainTimeoutError` — carrying a per-router
+        buffered-flit census — if the network fails to drain within
+        ``max_cycles``.
         """
         deadline = self.cycle + max_cycles
-        while self.cycle < deadline:
-            self._tick()
-            if self.workload.done(self.cycle) and self._empty():
-                return self.stats
-        raise RuntimeError(
-            f"network failed to drain within {max_cycles} cycles "
-            f"({self.network.buffered_flits()} flits still buffered)"
+        try:
+            while self.cycle < deadline:
+                self._tick()
+                if self.workload.done(self.cycle) and self._empty():
+                    return self.stats
+        except (RuntimeError, AssertionError) as exc:
+            self._capture_failure(exc)
+            raise
+        census = {
+            router.node: flits
+            for router in self.network.routers
+            if (flits := router.buffered_flits()) > 0
+        }
+        error = DrainTimeoutError(
+            self.cycle,
+            max_cycles,
+            census,
+            self.network.in_flight_flits(),
+            self.cycle - self.stats.last_movement_cycle,
         )
+        self._capture_failure(error)
+        raise error
+
+    def _capture_failure(self, exc: BaseException) -> None:
+        """Write a postmortem bundle for ``exc`` (best effort, never masks it).
+
+        ``AssertionError`` covers the sanitizer's ``InvariantViolation``
+        without importing :mod:`repro.analysis` (which would create an
+        import cycle through the topology builders).
+        """
+        session = self.forensics
+        if session is None:
+            return
+        if isinstance(exc, DrainTimeoutError):
+            reason = "drain-timeout"
+        elif isinstance(exc, DeadlockError):
+            reason = "deadlock"
+        elif isinstance(exc, AssertionError):
+            reason = "invariant-violation"
+        else:
+            reason = "runtime-error"
+        try:
+            path = session.capture_to_file(reason, self.cycle, error=exc)
+        except Exception:  # noqa: BLE001 - forensics must not mask the failure
+            return
+        if getattr(exc, "bundle_path", None) is None:
+            try:
+                exc.bundle_path = str(path)
+            except AttributeError:
+                pass  # exception type refuses new attributes
 
     def run_profiled(
         self,

@@ -132,6 +132,7 @@ def run_synthetic(
         session = TelemetrySession.attach(
             network, telemetry, warmup=warmup, total_cycles=cycles
         )
+        engine.forensics = session.forensics
     start = time.perf_counter()
     if session is not None and telemetry is not None and telemetry.profile:
         _, session.profile_text = engine.run_profiled(
@@ -186,6 +187,7 @@ def run_trace(
         session = TelemetrySession.attach(
             network, telemetry, warmup=warmup, total_cycles=None
         )
+        engine.forensics = session.forensics
     start = time.perf_counter()
     try:
         if session is not None and telemetry is not None and telemetry.profile:

@@ -188,7 +188,12 @@ class Stats:
 
 
 class DeadlockError(RuntimeError):
-    """Raised when buffered flits stop moving for too long."""
+    """Raised when buffered flits stop moving for too long.
+
+    When a :class:`~repro.telemetry.forensics.ForensicsSession` is attached
+    to the engine, ``bundle_path`` names the postmortem bundle written for
+    this failure (``None`` otherwise).
+    """
 
     def __init__(self, cycle: int, buffered: int, stalled_for: int) -> None:
         super().__init__(
@@ -198,3 +203,41 @@ class DeadlockError(RuntimeError):
         self.cycle = cycle
         self.buffered = buffered
         self.stalled_for = stalled_for
+        self.bundle_path: str | None = None
+
+
+class DrainTimeoutError(DeadlockError):
+    """The network failed to drain within the allotted cycles.
+
+    Carries a buffered-flit census: ``census`` maps each node still holding
+    flits in its router buffers to the flit count, and ``in_flight`` counts
+    flits inside link pipelines.  ``stalled_for`` is the cycles since the
+    last flit movement (0 means traffic was still moving — an undersized
+    deadline rather than a wedge).
+    """
+
+    def __init__(
+        self,
+        cycle: int,
+        max_cycles: int,
+        census: dict[int, int],
+        in_flight: int,
+        stalled_for: int,
+    ) -> None:
+        buffered = sum(census.values())
+        hotspots = sorted(census.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        where = ", ".join(f"node {node}: {flits}" for node, flits in hotspots)
+        RuntimeError.__init__(
+            self,
+            f"network failed to drain within {max_cycles} cycles "
+            f"({buffered} flits still buffered across {len(census)} routers"
+            + (f" [{where}]" if where else "")
+            + f", {in_flight} in flight on links)",
+        )
+        self.cycle = cycle
+        self.max_cycles = max_cycles
+        self.census = census
+        self.buffered = buffered
+        self.in_flight = in_flight
+        self.stalled_for = stalled_for
+        self.bundle_path = None

@@ -12,6 +12,10 @@
   (``repro.telemetry.trace``);
 * :class:`ProgressReporter` — live cycles/sec + in-flight + delivered
   status line for long runs (``repro.telemetry.progress``);
+* :class:`FlightRecorder` / :class:`HealthMonitor` /
+  :class:`ForensicsSession` — bounded event ring buffer, live health
+  probes and automatic postmortem bundles for wedged runs, rendered by
+  ``repro postmortem`` (``repro.telemetry.forensics``);
 * :class:`TelemetryConfig` / :class:`TelemetrySession` — one-call
   attachment used by ``run_synthetic`` / ``run_trace`` and the
   ``repro simulate`` CLI (``repro.telemetry.session``);
@@ -38,6 +42,20 @@ from .attribution import (
 from .bench import BENCH_SCHEMA_VERSION, EventCounters, run_bench, write_bench
 from .bus import EVENT_NAMES, NULL_BUS, TelemetryBus
 from .compare import MetricVerdict, compare_bench, compare_records, compare_paths
+from .forensics import (
+    FORENSICS_SCHEMA_VERSION,
+    FlightRecorder,
+    ForensicsConfig,
+    ForensicsSession,
+    HealthMonitor,
+    HealthThresholds,
+    capture_bundle,
+    load_bundle,
+    render_bundle_html,
+    render_bundle_text,
+    validate_bundle,
+    write_bundle,
+)
 from .metrics import EpochMetrics, EpochSample
 from .progress import ProgressReporter
 from .runstore import (
@@ -54,6 +72,12 @@ __all__ = [
     "AttributionError",
     "BENCH_SCHEMA_VERSION",
     "EVENT_NAMES",
+    "FORENSICS_SCHEMA_VERSION",
+    "FlightRecorder",
+    "ForensicsConfig",
+    "ForensicsSession",
+    "HealthMonitor",
+    "HealthThresholds",
     "LatencyLedger",
     "NULL_BUS",
     "RUN_SCHEMA_VERSION",
@@ -71,10 +95,15 @@ __all__ = [
     "TelemetryConfig",
     "TelemetrySession",
     "ChromeTraceBuilder",
+    "capture_bundle",
     "compare_bench",
     "compare_paths",
     "compare_records",
+    "load_bundle",
     "record_from_result",
+    "render_bundle_html",
+    "render_bundle_text",
     "run_bench",
-    "write_bench",
+    "validate_bundle",
+    "write_bundle",
 ]

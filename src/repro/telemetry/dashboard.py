@@ -9,6 +9,9 @@ SVG via :func:`repro.viz.svg_line_chart` — with:
 * the latency-attribution panel (stacked per-stage bars via
   :func:`repro.viz.svg_stacked_bars` + top-bottleneck-links table) for
   runs recorded with ``--latency-breakdown``;
+* the per-run health panel (anomaly flags + oldest-packet-age
+  sparklines via :func:`repro.viz.svg_sparkline`) for runs recorded
+  with ``--health`` or ones that captured a postmortem bundle;
 * the most recent entries of the ``runs/`` registry.
 
 The page carries its own light/dark palette as CSS custom properties
@@ -90,6 +93,7 @@ td:first-child, th:first-child { text-align: left; }
 pre { background: var(--surface-2); padding: 12px; overflow-x: auto;
       font-size: 12px; border-radius: 6px; }
 .empty { color: var(--text-secondary); font-style: italic; }
+.alarm { color: var(--series-8); font-weight: 600; }
 """
 
 
@@ -304,6 +308,71 @@ def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
     return f"<figure>{chart}</figure>{stage_table}{bottlenecks}"
 
 
+def _health_section(runs_dir: Path, max_runs: int = 8) -> str:
+    """Per-run health panel for records carrying forensics summaries.
+
+    One row per run recorded with ``--health``: anomaly flags, probe
+    count, max in-flight packet age, and the oldest-packet-age series as
+    a sparkline.  Runs that captured a postmortem bundle link its path.
+    """
+    from repro.viz import svg_sparkline
+
+    store = RunStore(runs_dir)
+    records = [
+        record
+        for record in store.load(strict=False)
+        if record.forensics.get("health") or record.forensics.get("bundle")
+    ][-max_runs:]
+    if not records:
+        return (
+            '<p class="empty">no runs with health probes yet — record one '
+            "with <code>repro simulate --health</code> (a captured "
+            "postmortem bundle also lands here).</p>"
+        )
+    rows = []
+    for record in reversed(records):
+        health = record.forensics.get("health") or {}
+        flags = health.get("flags") or []
+        flags_cell = (
+            '<span class="alarm">' + html.escape(", ".join(flags)) + "</span>"
+            if flags
+            else "ok"
+        )
+        # The series is stored as (cycle, age) pairs; the sparkline only
+        # plots the ages (probe spacing is uniform anyway).
+        ages = [
+            float(point[1]) if isinstance(point, (list, tuple)) else float(point)
+            for point in health.get("oldest_age_series") or []
+        ]
+        spark = (
+            svg_sparkline(ages, title="oldest in-flight packet age")
+            if ages
+            else '<span class="empty">n/a</span>'
+        )
+        bundle = record.forensics.get("bundle")
+        bundle_cell = (
+            f"<code>{html.escape(str(bundle))}</code>" if bundle else "—"
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(record.created)}</td>"
+            f"<td>{html.escape(record.label)}</td>"
+            f"<td>{html.escape(record.workload)}</td>"
+            f"<td>{flags_cell}</td>"
+            f"<td>{_fmt(health.get('probes', 0))}</td>"
+            f"<td>{_fmt(health.get('max_oldest_age', 0))}</td>"
+            f"<td>{spark}</td>"
+            f"<td>{bundle_cell}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>created</th><th>label</th><th>workload</th>"
+        "<th>anomalies</th><th>probes</th><th>max age</th>"
+        "<th>oldest-age trend</th><th>bundle</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
 def _runs_section(runs_dir: Path, top: int) -> str:
     store = RunStore(runs_dir)
     records: list[RunRecord] = store.latest(top, strict=False)
@@ -373,6 +442,8 @@ def build_dashboard(
         _bench_section(dirs),
         "<h2>Latency attribution</h2>",
         _breakdown_section(Path(runs_dir)),
+        "<h2>Run health</h2>",
+        _health_section(Path(runs_dir)),
         "<h2>Recent runs</h2>",
         _runs_section(Path(runs_dir), top_runs),
     ]

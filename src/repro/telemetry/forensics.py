@@ -1,0 +1,1237 @@
+"""Flight recorder and postmortem forensics (see ``docs/observability.md``).
+
+The static passes of :mod:`repro.analysis` *predict* deadlock and livelock;
+this module is the runtime counterpart that *explains* one when it happens.
+Three cooperating pieces, all riding the
+:class:`~repro.telemetry.bus.TelemetryBus`:
+
+* :class:`FlightRecorder` — a bounded ring buffer of recent bus events
+  (O(1) append, last ``window`` cycles retained).  The default ``"packet"``
+  detail level records packet-lifecycle events only (injection, ejection,
+  credit stalls), which keeps the measured overhead on the fig11 bench
+  case within the 2% budget; ``"route"`` adds the per-hop routing and VC
+  allocation events, and ``"full"`` records the flit-granular firehose.
+* :class:`HealthMonitor` — periodic live probes (throughput slope,
+  credit-stall rate, buffer/ROB occupancy, oldest in-flight packet age)
+  with configurable :class:`HealthThresholds`; threshold crossings are
+  flagged on a stream as they happen and summarized for the run registry.
+* :func:`capture_bundle` — the black-box dump taken when a run wedges:
+  full network snapshot (router/link/ROB/PHY ``snapshot_state`` hooks),
+  an in-flight packet table with per-packet age and attribution-taxonomy
+  stage, and a **wait-for graph** extracted from blocked input VCs whose
+  cycle (if any) names the deadlocked channel loop in the same
+  ``(link index, vc)`` vocabulary as :func:`repro.analysis.cdg.build_cdg`
+  — so a runtime deadlock is mechanically cross-checkable against the
+  static analysis.
+
+:class:`ForensicsSession` bundles the three behind one attach/detach
+surface; the :class:`~repro.sim.engine.Engine` calls
+:meth:`ForensicsSession.capture_to_file` from its failure path so every
+:class:`~repro.sim.stats.DeadlockError`, drain timeout or
+:class:`~repro.analysis.sanitizer.InvariantViolation` leaves a bundle on
+disk.  ``repro postmortem BUNDLE`` renders a bundle as a text report or a
+self-contained HTML page.
+
+Import note: like every collector in this package, this module must not
+import ``repro.noc`` / ``repro.core`` at module load (``repro.noc``
+imports :mod:`repro.telemetry.bus`); simulator types appear only under
+``typing.TYPE_CHECKING`` and simulator state is reached through duck
+typing and the ``snapshot_state`` hooks.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+
+from .bus import EVENT_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.flit import Flit, Packet
+    from repro.noc.network import Network
+
+#: Version of the postmortem-bundle schema.  Bump on incompatible changes;
+#: :func:`validate_bundle` rejects bundles written by a different version.
+FORENSICS_SCHEMA_VERSION = 1
+
+#: Event subsets selectable by :class:`FlightRecorder` detail level.
+#: ``"packet"`` stays within the recorder's 2% overhead budget on the
+#: fig11 bench case; ``"route"`` adds the per-hop routing/VC-allocation
+#: events (a few percent more); ``"full"`` records the flit-granular
+#: firehose (observability runs only, not perf-neutral).
+RECORDER_PRESETS: dict[str, tuple[str, ...]] = {
+    "packet": (
+        "packet_inject",
+        "packet_eject",
+        "credit_stall",
+    ),
+    "route": (
+        "packet_inject",
+        "packet_eject",
+        "route_compute",
+        "vc_alloc",
+        "credit_stall",
+    ),
+    "full": tuple(name for name in EVENT_NAMES if name != "cycle_end"),
+}
+
+#: Wait-for graph vertices: channels are ``("chan", link, vc)``; source
+#: queues (which hold no upstream channel and thus never close a cycle)
+#: are ``("inject", node, vc)``.
+WaitVertex = tuple[str, int, int]
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+
+
+def _packet_ref(packet: "Packet") -> dict[str, int]:
+    return {
+        "pid": packet.pid,
+        "src": packet.src,
+        "dst": packet.dst,
+        "len": packet.length,
+    }
+
+
+def _flit_ref(flit: "Flit") -> dict[str, int]:
+    return {"pid": flit.packet.pid, "flit": flit.index}
+
+
+def _decode_event(name: str, args: tuple) -> dict[str, Any]:
+    """One recorded ``(name, args)`` pair -> a JSON-serializable record."""
+    out: dict[str, Any] = {"event": name, "cycle": _event_cycle(name, args)}
+    if name == "packet_inject":
+        out["packet"] = _packet_ref(args[1])
+    elif name == "packet_eject":
+        out["node"] = args[0].node
+        out["packet"] = _packet_ref(args[1])
+    elif name == "route_compute":
+        out.update(node=args[0].node, packet=_packet_ref(args[1]),
+                   in_port=args[2], in_vc=args[3])
+    elif name == "vc_alloc":
+        out.update(node=args[0].node, packet=_packet_ref(args[1]),
+                   in_port=args[2], in_vc=args[3],
+                   out_port=args[4], out_vc=args[5])
+    elif name == "flit_send":
+        out.update(node=args[0].node, flit=_flit_ref(args[1]),
+                   out_port=args[2], out_vc=args[3])
+    elif name == "flit_recv":
+        out.update(node=args[0].node, port=args[1], vc=args[2],
+                   flit=_flit_ref(args[3]))
+    elif name == "link_accept":
+        out.update(link=args[0].index, flit=_flit_ref(args[1]), vc=args[2])
+    elif name == "credit_return":
+        out.update(link=args[0].index, vc=args[1])
+    elif name == "credit_stall":
+        out.update(node=args[0].node, out_port=args[1], vc=args[2])
+    elif name == "phy_dispatch":
+        out.update(link=args[0].index, flit=_flit_ref(args[1]),
+                   vc=args[2], phy=args[3])
+    elif name in ("rob_insert", "rob_release"):
+        out.update(link=args[0].index, flit=_flit_ref(args[1]), vc=args[2])
+    else:  # pragma: no cover - defensive
+        out["args"] = repr(args)
+    return out
+
+
+def _event_cycle(name: str, args: tuple) -> int:
+    # Every catalogued event carries ``now`` as its last argument except
+    # packet_inject, whose packet carries its creation cycle instead.
+    if name == "packet_inject":
+        return int(args[1].create_cycle)
+    return int(args[-1])
+
+
+def _make_tap(append: Callable[[tuple], None]) -> Callable[..., None]:
+    # The hot path of the recorder: one call, one varargs pack, one deque
+    # append.  The event name is implied by which deque ``append`` belongs
+    # to, so no per-event tuple is allocated around the args.
+    def tap(*args: Any) -> None:
+        append(args)
+
+    return tap
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent telemetry events.
+
+    Parameters
+    ----------
+    network:
+        The built network whose bus is recorded.
+    window:
+        Cycles of history retained; older events are evicted on a short
+        trim stride (amortized O(1) per event) and before every read, so
+        the view :meth:`events` / :meth:`tail` return is always exact.
+    events:
+        A preset name from :data:`RECORDER_PRESETS` or an explicit
+        iterable of event names.
+    max_events:
+        Hard memory cap; crossing it evicts the oldest events and counts
+        them in :attr:`dropped`.  Between trims the buffers may briefly
+        overshoot the cap by up to one stride of events.
+    """
+
+    #: Cycles between in-run trims.  Reads always trim first, so the
+    #: stride only bounds the transient memory overshoot, not accuracy.
+    TRIM_STRIDE = 64
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        window: int = 4_096,
+        events: str | Iterable[str] = "packet",
+        max_events: int = 250_000,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if isinstance(events, str):
+            try:
+                names = RECORDER_PRESETS[events]
+            except KeyError:
+                raise ValueError(
+                    f"unknown recorder preset {events!r}; known: "
+                    + ", ".join(RECORDER_PRESETS)
+                ) from None
+        else:
+            names = tuple(events)
+            unknown = [n for n in names if n not in EVENT_NAMES]
+            if unknown:
+                raise ValueError(f"unknown telemetry event(s): {', '.join(unknown)}")
+        self.network = network
+        self.window = window
+        self.max_events = max_events
+        self.event_names = names
+        self.dropped = 0
+        self.now = 0
+        # One deque per event: the tap appends the raw args tuple and the
+        # event name stays implicit, saving a tuple allocation per event.
+        self._bufs: dict[str, deque[tuple]] = {name: deque() for name in names}
+        self._callbacks: dict[str, Callable[..., None]] = {}
+        self._cycles_until_trim = self.TRIM_STRIDE
+        self._attached = False
+        bus = network.telemetry
+        for name in names:
+            callback = _make_tap(self._bufs[name].append)
+            self._callbacks[name] = callback
+            bus.subscribe(name, callback)
+        bus.subscribe("cycle_end", self._on_cycle_end)
+        self._attached = True
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        # This runs every simulated cycle even when no events fired, so the
+        # common case must stay at a couple of attribute touches; the real
+        # trimming work is amortized over TRIM_STRIDE cycles.
+        self.now = now
+        self._cycles_until_trim -= 1
+        if self._cycles_until_trim <= 0:
+            self._cycles_until_trim = self.TRIM_STRIDE
+            self._trim()
+
+    def _trim(self) -> None:
+        horizon = self.now - self.window
+        total = 0
+        for name, buf in self._bufs.items():
+            while buf and _event_cycle(name, buf[0]) < horizon:
+                buf.popleft()
+            total += len(buf)
+        over = total - self.max_events
+        if over > 0:
+            self.dropped += over
+            # Shed the overflow proportionally from each event's deque.  Each
+            # deque is already in cycle order, so trimming its left end drops
+            # that event type's oldest history; proportional quotas keep one
+            # chatty event from starving the others, and the whole pass is
+            # O(over) deque pops rather than a global oldest-first scan.
+            bufs = [buf for buf in self._bufs.values() if buf]
+            remaining = over
+            for buf in bufs:
+                quota = min(over * len(buf) // total, len(buf), remaining)
+                for _ in range(quota):
+                    buf.popleft()
+                remaining -= quota
+            while remaining > 0:
+                # Rounding residue (< one event per deque) comes off the
+                # largest survivor.
+                buf = max(bufs, key=len)
+                buf.popleft()
+                remaining -= 1
+
+    def detach(self) -> None:
+        """Unsubscribe every tap; the bus reverts to the zero-cost path."""
+        if not self._attached:
+            return
+        bus = self.network.telemetry
+        for name, callback in self._callbacks.items():
+            bus.unsubscribe(name, callback)
+        bus.unsubscribe("cycle_end", self._on_cycle_end)
+        self._attached = False
+
+    def __len__(self) -> int:
+        self._trim()
+        return sum(len(buf) for buf in self._bufs.values())
+
+    def _merged(self) -> list[tuple[int, str, tuple]]:
+        self._trim()
+        rows = [
+            (_event_cycle(name, args), name, args)
+            for name, buf in self._bufs.items()
+            for args in buf
+        ]
+        rows.sort(key=lambda row: row[0])
+        return rows
+
+    def events(self) -> list[dict[str, Any]]:
+        """Every retained event, decoded, oldest first."""
+        return [_decode_event(name, args) for _cycle, name, args in self._merged()]
+
+    def tail(self, n: int) -> list[dict[str, Any]]:
+        """The most recent ``n`` events, decoded, oldest first."""
+        if n <= 0:
+            return []
+        rows = self._merged()
+        return [_decode_event(name, args) for _cycle, name, args in rows[-n:]]
+
+
+# ---------------------------------------------------------------------------
+# health monitor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """When a probe reading becomes an anomaly."""
+
+    #: Oldest in-flight packet age (cycles) before it is flagged.
+    max_packet_age: int = 5_000
+    #: Credit-stall events per cycle over a probe window before flagging.
+    max_stall_rate: float = 2.0
+    #: Flits buffered in the network before occupancy is flagged.
+    max_buffered_flits: int = 50_000
+
+
+@dataclass
+class HealthProbe:
+    """One periodic reading of the run's vital signs."""
+
+    cycle: int
+    delivered_delta: int
+    stall_rate: float
+    buffered: int
+    in_flight: int
+    rob_occupancy: int
+    oldest_age: int
+    oldest_pid: Optional[int]
+
+
+@dataclass
+class HealthAnomaly:
+    """A threshold crossing (recorded on the rising edge only)."""
+
+    cycle: int
+    kind: str
+    detail: str
+
+
+class HealthMonitor:
+    """Periodic live health probes with anomaly flagging.
+
+    Subscribes to ``packet_inject`` / ``packet_eject`` (in-flight packet
+    ages), ``credit_stall`` (stall rate) and ``cycle_end`` (the probe
+    clock).  Every ``every`` cycles it takes one :class:`HealthProbe`;
+    readings beyond the :class:`HealthThresholds` raise a
+    :class:`HealthAnomaly` flag, written to ``stream`` (when given) at
+    the moment the condition first appears — the live early warning the
+    postmortem bundle later confirms.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        every: int = 2_000,
+        thresholds: Optional[HealthThresholds] = None,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.network = network
+        self.every = every
+        self.thresholds = thresholds or HealthThresholds()
+        self.stream = stream
+        self.probes: list[HealthProbe] = []
+        self.anomalies: list[HealthAnomaly] = []
+        self._live: dict[int, "Packet"] = {}
+        self._stalls = 0
+        self._last_delivered = 0
+        self._active_flags: set[str] = set()
+        self._attached = False
+        bus = network.telemetry
+        bus.subscribe("packet_inject", self._on_inject)
+        bus.subscribe("packet_eject", self._on_eject)
+        bus.subscribe("credit_stall", self._on_stall)
+        bus.subscribe("cycle_end", self._on_cycle_end)
+        self._attached = True
+
+    # -- bus callbacks -----------------------------------------------------
+    def _on_inject(self, network: "Network", packet: "Packet") -> None:
+        self._live[packet.pid] = packet
+
+    def _on_eject(self, router: Any, packet: "Packet", now: int) -> None:
+        self._live.pop(packet.pid, None)
+
+    def _on_stall(self, router: Any, out_port: int, vc: int, now: int) -> None:
+        self._stalls += 1
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        if (now + 1) % self.every:
+            return
+        self.probe(now)
+
+    # -- probing -----------------------------------------------------------
+    def oldest_in_flight(self, now: int) -> tuple[Optional["Packet"], int]:
+        """(oldest live packet, its age in cycles); ``(None, 0)`` if idle."""
+        live = self._live
+        if not live:
+            return None, 0
+        packet = next(iter(live.values()))
+        return packet, now - packet.create_cycle
+
+    def probe(self, now: int) -> HealthProbe:
+        """Take one reading now (also called from the probe clock)."""
+        network = self.network
+        delivered = network.stats.packets_delivered
+        stall_rate = self._stalls / self.every
+        self._stalls = 0
+        rob = 0
+        for link in network.links:
+            buffer = getattr(link, "rob", None)
+            if buffer is not None:
+                rob += buffer.occupancy
+        oldest, age = self.oldest_in_flight(now)
+        probe = HealthProbe(
+            cycle=now,
+            delivered_delta=delivered - self._last_delivered,
+            stall_rate=stall_rate,
+            buffered=network.buffered_flits(),
+            in_flight=network.in_flight_flits(),
+            rob_occupancy=rob,
+            oldest_age=age,
+            oldest_pid=oldest.pid if oldest is not None else None,
+        )
+        self._last_delivered = delivered
+        self.probes.append(probe)
+        self._flag(probe, oldest)
+        return probe
+
+    def _flag(self, probe: HealthProbe, oldest: Optional["Packet"]) -> None:
+        limits = self.thresholds
+        findings: list[tuple[str, str]] = []
+        if oldest is not None and probe.oldest_age > limits.max_packet_age:
+            findings.append((
+                "packet-age",
+                f"oldest in-flight packet {oldest.pid} "
+                f"({oldest.src}->{oldest.dst}) is {probe.oldest_age} cycles "
+                f"old (limit {limits.max_packet_age})",
+            ))
+        if probe.delivered_delta == 0 and probe.buffered + probe.in_flight > 0:
+            findings.append((
+                "no-throughput",
+                f"{probe.buffered + probe.in_flight} flits in the network "
+                f"but zero packets delivered in the last {self.every} cycles",
+            ))
+        if probe.stall_rate > limits.max_stall_rate:
+            findings.append((
+                "credit-stall",
+                f"credit-stall rate {probe.stall_rate:.2f}/cycle "
+                f"(limit {limits.max_stall_rate:g})",
+            ))
+        if probe.buffered > limits.max_buffered_flits:
+            findings.append((
+                "occupancy",
+                f"{probe.buffered} flits buffered "
+                f"(limit {limits.max_buffered_flits})",
+            ))
+        current = {kind for kind, _ in findings}
+        for kind, detail in findings:
+            if kind in self._active_flags:
+                continue  # already flagged; report rising edges only
+            anomaly = HealthAnomaly(cycle=probe.cycle, kind=kind, detail=detail)
+            self.anomalies.append(anomaly)
+            if self.stream is not None:
+                self.stream.write(
+                    f"[health] cycle {probe.cycle}: {kind}: {detail}\n"
+                )
+                self.stream.flush()
+        self._active_flags = current
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        bus = self.network.telemetry
+        bus.unsubscribe("packet_inject", self._on_inject)
+        bus.unsubscribe("packet_eject", self._on_eject)
+        bus.unsubscribe("credit_stall", self._on_stall)
+        bus.unsubscribe("cycle_end", self._on_cycle_end)
+        self._attached = False
+
+    def summary(self, *, max_anomalies: int = 20, max_series: int = 120) -> dict[str, Any]:
+        """Compact JSON-ready digest for bundles and the run registry."""
+        series = [[p.cycle, p.oldest_age] for p in self.probes]
+        if len(series) > max_series:
+            stride = math.ceil(len(series) / max_series)
+            series = series[::stride]
+        return {
+            "probes": len(self.probes),
+            "anomaly_count": len(self.anomalies),
+            "flags": sorted({a.kind for a in self.anomalies}),
+            "max_oldest_age": max((p.oldest_age for p in self.probes), default=0),
+            "anomalies": [
+                {"cycle": a.cycle, "kind": a.kind, "detail": a.detail}
+                for a in self.anomalies[:max_anomalies]
+            ],
+            "oldest_age_series": series,
+        }
+
+
+# ---------------------------------------------------------------------------
+# wait-for graph extraction
+# ---------------------------------------------------------------------------
+
+# Input-VC pipeline states; values mirror repro.noc.router (asserted by
+# tests so the two cannot drift apart without failing).
+_VC_IDLE, _VC_VA, _VC_ACTIVE = 0, 1, 2
+_STATE_NAMES = {_VC_IDLE: "idle", _VC_VA: "va_wait", _VC_ACTIVE: "active"}
+
+
+def extract_wait_graph(network: "Network", now: int) -> dict[str, Any]:
+    """The wait-for graph of blocked flits, with its cycle if one exists.
+
+    Vertices are channels ``("chan", link index, vc)`` (plus
+    ``("inject", node, vc)`` pseudo-vertices for source queues, which hold
+    no channel and therefore never appear in a cycle).  An edge points
+    from the channel a blocked packet *holds* (the input VC its flits
+    occupy) to each channel it *requests*: every unallocable routing
+    candidate for a VC stuck in VC allocation, or the granted output VC
+    for an active VC stalled on zero downstream credits.
+
+    The cycle is reported in the ``(link index, vc)`` vocabulary of
+    :mod:`repro.analysis.cdg`, so it can be checked edge by edge against
+    the static channel dependency graph (see ``cycle_in_graph``).
+    """
+    edges: dict[WaitVertex, set[WaitVertex]] = {}
+    blocked: list[dict[str, Any]] = []
+    for router in network.routers:
+        outputs = router.outputs
+        for port in router.inputs:
+            link = port.link
+            for ivc in port.vcs:
+                if not ivc.queue or ivc.state == _VC_IDLE:
+                    continue
+                packet = ivc.queue[0].packet
+                wants: list[WaitVertex] = []
+                why = _STATE_NAMES[ivc.state]
+                if ivc.state == _VC_VA:
+                    for out_port, out_vc, _escape in ivc.candidates or ():
+                        out_link = outputs[out_port].link
+                        if out_link is None:
+                            continue  # ejection never blocks VC allocation
+                        wants.append(("chan", out_link.index, out_vc))
+                else:  # _VC_ACTIVE
+                    out = outputs[ivc.out_port]
+                    out_link = out.link
+                    if out_link is None or out.credits[ivc.out_vc] > 0:
+                        continue  # can still move; not blocked on a resource
+                    why = "credit_stall"
+                    wants.append(("chan", out_link.index, ivc.out_vc))
+                if not wants:
+                    continue
+                holder: WaitVertex = (
+                    ("inject", router.node, ivc.index)
+                    if link is None
+                    else ("chan", link.index, ivc.index)
+                )
+                edges.setdefault(holder, set()).update(wants)
+                blocked.append({
+                    "node": router.node,
+                    "port": port.index,
+                    "vc": ivc.index,
+                    "pid": packet.pid,
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "age": now - packet.create_cycle,
+                    "state": why,
+                    "holds": list(holder),
+                    "wants": [list(want) for want in wants],
+                })
+    cycle = _find_cycle(edges)
+    return {
+        "blocked": blocked,
+        "edges": [[list(a), list(b)] for a, bs in sorted(edges.items()) for b in sorted(bs)],
+        "cycle": [[link, vc] for _tag, link, vc in cycle],
+    }
+
+
+def _find_cycle(graph: dict[WaitVertex, set[WaitVertex]]) -> list[WaitVertex]:
+    """A cycle in the wait-for graph, or ``[]`` (iterative 3-color DFS).
+
+    Returned open: consecutive elements are edges, and so is last -> first
+    (the wrap-around is implied, not repeated).
+    """
+    white, gray, black = 0, 1, 2
+    color: dict[WaitVertex, int] = {}
+    parent: dict[WaitVertex, WaitVertex] = {}
+    for start in graph:
+        if color.get(start, white) != white:
+            continue
+        stack: list[tuple[WaitVertex, Any]] = [(start, iter(sorted(graph.get(start, ()))))]
+        color[start] = gray
+        while stack:
+            vertex, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, white)
+                if state == gray:
+                    cycle = [vertex]
+                    walk = vertex
+                    while walk != nxt:
+                        walk = parent[walk]
+                        cycle.append(walk)
+                    cycle.reverse()
+                    return cycle
+                if state == white:
+                    color[nxt] = gray
+                    parent[nxt] = vertex
+                    stack.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = black
+                stack.pop()
+    return []
+
+
+def waitfor_cycle_channels(bundle: dict[str, Any]) -> list[tuple[int, int]]:
+    """The bundle's wait-for cycle as ``(link index, vc)`` tuples."""
+    return [tuple(entry) for entry in bundle.get("waitfor", {}).get("cycle", [])]
+
+
+def cycle_in_graph(
+    cycle: Sequence[tuple[int, int]],
+    edges: dict[tuple[int, int], set[tuple[int, int]]],
+) -> bool:
+    """True when ``cycle`` is a closed walk of the dependency graph.
+
+    Used to cross-check a runtime wait-for cycle against the edge set of
+    the static CDG (``build_cdg(network).edges``): every consecutive pair
+    of the runtime cycle — including the wrap-around — must be a
+    dependency the static analysis predicted.
+    """
+    if not cycle:
+        return False
+    closed = list(cycle) + [cycle[0]]
+    return all(b in edges.get(a, set()) for a, b in zip(closed, closed[1:]))
+
+
+# ---------------------------------------------------------------------------
+# in-flight packet table
+# ---------------------------------------------------------------------------
+
+
+def inflight_packet_table(
+    network: "Network", now: int, *, max_packets: int = 256
+) -> dict[str, Any]:
+    """Every packet with flits in the network: age, stage, positions.
+
+    The ``stage`` column uses the attribution taxonomy of
+    :data:`repro.telemetry.attribution.STAGES`, derived from where the
+    packet's head-most in-network flit currently sits.
+    """
+    entries: dict[int, dict[str, Any]] = {}
+
+    def note(flit: "Flit", stage: str, position: dict[str, Any]) -> None:
+        packet = flit.packet
+        entry = entries.get(packet.pid)
+        if entry is None:
+            entry = entries[packet.pid] = {
+                "pid": packet.pid,
+                "src": packet.src,
+                "dst": packet.dst,
+                "len": packet.length,
+                "age": now - packet.create_cycle,
+                "flits_in_network": 0,
+                "stage": stage,
+                "positions": [],
+                "_head_index": flit.index,
+            }
+        entry["flits_in_network"] += 1
+        if len(entry["positions"]) < 4 and position not in entry["positions"]:
+            entry["positions"].append(position)
+        if flit.index <= entry["_head_index"]:
+            entry["_head_index"] = flit.index
+            entry["stage"] = stage
+
+    for router in network.routers:
+        for port in router.inputs:
+            injection = port.link is None
+            for ivc in port.vcs:
+                if not ivc.queue:
+                    continue
+                if injection:
+                    stage = "source_queue" if ivc.state == _VC_IDLE else "va_wait"
+                elif ivc.state == _VC_VA:
+                    stage = "va_wait"
+                elif ivc.state == _VC_ACTIVE:
+                    out = router.outputs[ivc.out_port]
+                    stalled = (
+                        out.link is not None and out.credits[ivc.out_vc] <= 0
+                    )
+                    stage = "credit_stall" if stalled else "switch_wait"
+                else:
+                    stage = "va_wait"
+                position = {
+                    "loc": "router",
+                    "node": router.node,
+                    "port": port.index,
+                    "vc": ivc.index,
+                }
+                for flit in ivc.queue:
+                    note(flit, stage, position)
+    for link in network.links:
+        position = {"loc": "link", "link": link.index}
+        for flit, stage in _link_flit_stages(link):
+            note(flit, stage, position)
+    table = sorted(entries.values(), key=lambda e: (-e["age"], e["pid"]))
+    for entry in table:
+        del entry["_head_index"]
+    return {"total": len(table), "table": table[:max_packets]}
+
+
+def _link_flit_stages(link: Any) -> Iterable[tuple["Flit", str]]:
+    """(flit, attribution stage) pairs for every flit inside one link."""
+    pipe = getattr(link, "_pipe", None)
+    if pipe is not None:  # PipelinedLink
+        stage = link.traversal_stage or "link_onchip"
+        for _due, flit, _vc in pipe:
+            yield flit, stage
+        return
+    if getattr(link, "rob", None) is None:
+        return
+    # HeteroPhyLink: TX FIFO, bypass queue, both PHY pipelines, ROB.
+    for flit, _vc in link._txq:
+        yield flit, "phy_tx_queue"
+    for flit, _vc in link._bypassq:
+        yield flit, "phy_tx_queue"
+    for _due, flit, _vc in link._par_pipe:
+        yield flit, "phy_parallel"
+    for _due, flit, _vc in link._ser_pipe:
+        yield flit, "phy_serial"
+    for flit in link.rob.waiting_flits():
+        yield flit, "rob_wait"
+
+
+# ---------------------------------------------------------------------------
+# bundle capture
+# ---------------------------------------------------------------------------
+
+
+def capture_bundle(
+    network: "Network",
+    *,
+    now: int,
+    reason: str,
+    error: Optional[BaseException] = None,
+    recorder: Optional[FlightRecorder] = None,
+    monitor: Optional[HealthMonitor] = None,
+    recorder_tail: int = 200,
+) -> dict[str, Any]:
+    """Snapshot everything needed to explain a wedged run.
+
+    ``reason`` is a short slug (``"deadlock"``, ``"drain-timeout"``,
+    ``"invariant-violation"``, ``"manual"``...).  Only routers and links
+    actually holding state are snapshotted in full; the channel table
+    covers the whole topology so link indices stay resolvable.
+    """
+    routers = [
+        router.snapshot_state()
+        for router in network.routers
+        if router.buffered_flits() > 0
+    ]
+    links = [
+        link.snapshot_state()
+        for link in network.links
+        if getattr(link, "occupancy", 0) or any(
+            link.pending_credits(vc) for vc in range(link.spec.n_vcs)
+        )
+    ]
+    channels = [
+        {
+            "index": link.index,
+            "src": link.spec.src,
+            "dst": link.spec.dst,
+            "kind": link.spec.kind.value,
+            "n_vcs": link.spec.n_vcs,
+            "interface": bool(link.spec.is_interface),
+        }
+        for link in network.links
+    ]
+    bundle: dict[str, Any] = {
+        "schema_version": FORENSICS_SCHEMA_VERSION,
+        "reason": reason,
+        "cycle": now,
+        "error": None if error is None else str(error),
+        "error_type": None if error is None else type(error).__name__,
+        "network": {
+            "n_nodes": network.n_nodes,
+            "n_links": len(network.links),
+            "buffered_flits": network.buffered_flits(),
+            "in_flight_flits": network.in_flight_flits(),
+        },
+        "channels": channels,
+        "routers": routers,
+        "links": links,
+        "packets": inflight_packet_table(network, now),
+        "waitfor": extract_wait_graph(network, now),
+        "health": monitor.summary() if monitor is not None else None,
+        "recorder": None,
+    }
+    if recorder is not None:
+        bundle["recorder"] = {
+            "window": recorder.window,
+            "events_recorded": len(recorder),
+            "dropped": recorder.dropped,
+            "tail": recorder.tail(recorder_tail),
+        }
+    return bundle
+
+
+def write_bundle(bundle: dict[str, Any], directory: str | Path) -> Path:
+    """Write one bundle as pretty JSON; returns the written path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"BUNDLE_{bundle.get('reason', 'manual')}_{bundle.get('cycle', 0)}"
+    path = directory / f"{stem}.json"
+    serial = 1
+    while path.exists():
+        path = directory / f"{stem}_{serial}.json"
+        serial += 1
+    path.write_text(json.dumps(bundle, indent=1, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_bundle(path: str | Path) -> dict[str, Any]:
+    """Read and validate a bundle file."""
+    try:
+        bundle = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read bundle {path}: {exc}") from None
+    validate_bundle(bundle)
+    return bundle
+
+
+#: Top-level keys every v1 bundle must carry.
+_REQUIRED_KEYS = (
+    "schema_version",
+    "reason",
+    "cycle",
+    "network",
+    "channels",
+    "routers",
+    "links",
+    "packets",
+    "waitfor",
+)
+
+
+def validate_bundle(bundle: Any) -> None:
+    """Raise :class:`ValueError` unless ``bundle`` is a readable v1 bundle."""
+    if not isinstance(bundle, dict):
+        raise ValueError("bundle is not a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in bundle]
+    if missing:
+        raise ValueError(f"bundle is missing keys: {', '.join(missing)}")
+    version = bundle["schema_version"]
+    if version != FORENSICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"bundle schema v{version!r} is not supported "
+            f"(this build reads v{FORENSICS_SCHEMA_VERSION})"
+        )
+    waitfor = bundle["waitfor"]
+    if not isinstance(waitfor, dict) or not {"blocked", "edges", "cycle"} <= set(waitfor):
+        raise ValueError("bundle wait-for graph is malformed")
+    packets = bundle["packets"]
+    if not isinstance(packets, dict) or "table" not in packets:
+        raise ValueError("bundle packet table is malformed")
+
+
+# ---------------------------------------------------------------------------
+# session
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForensicsConfig:
+    """What the forensics layer should do for one run."""
+
+    #: Directory postmortem bundles are written into.
+    bundle_dir: str | Path = "forensics"
+    #: Attach a :class:`FlightRecorder`.
+    flight_recorder: bool = False
+    #: Recorder history window in cycles.
+    recorder_window: int = 4_096
+    #: Recorder detail: a :data:`RECORDER_PRESETS` name or event names.
+    recorder_events: str | tuple[str, ...] = "packet"
+    #: Recorder events embedded in a captured bundle.
+    recorder_tail: int = 200
+    #: Attach a :class:`HealthMonitor`.
+    health: bool = False
+    #: Cycles between health probes.
+    health_every: int = 2_000
+    thresholds: HealthThresholds = field(default_factory=HealthThresholds)
+    #: Stream for live anomaly flags (None: keep them silent, in memory).
+    health_stream: Optional[IO[str]] = None
+
+
+class ForensicsSession:
+    """Recorder + monitor + bundle sink for one network and one run.
+
+    A session with everything off costs nothing at runtime — no bus
+    subscriptions — and only acts when the engine's failure path calls
+    :meth:`capture_to_file`.
+    """
+
+    def __init__(
+        self, network: "Network", config: Optional[ForensicsConfig] = None
+    ) -> None:
+        self.network = network
+        self.config = config or ForensicsConfig()
+        self.recorder: Optional[FlightRecorder] = None
+        self.monitor: Optional[HealthMonitor] = None
+        #: Path of the last bundle written by :meth:`capture_to_file`.
+        self.bundle_path: Optional[Path] = None
+        if self.config.flight_recorder:
+            self.recorder = FlightRecorder(
+                network,
+                window=self.config.recorder_window,
+                events=self.config.recorder_events,
+            )
+        if self.config.health:
+            self.monitor = HealthMonitor(
+                network,
+                every=self.config.health_every,
+                thresholds=self.config.thresholds,
+                stream=self.config.health_stream,
+            )
+
+    @classmethod
+    def attach(
+        cls, network: "Network", config: Optional[ForensicsConfig] = None
+    ) -> "ForensicsSession":
+        return cls(network, config)
+
+    def capture(
+        self, reason: str, now: int, *, error: Optional[BaseException] = None
+    ) -> dict[str, Any]:
+        return capture_bundle(
+            self.network,
+            now=now,
+            reason=reason,
+            error=error,
+            recorder=self.recorder,
+            monitor=self.monitor,
+            recorder_tail=self.config.recorder_tail,
+        )
+
+    def capture_to_file(
+        self, reason: str, now: int, *, error: Optional[BaseException] = None
+    ) -> Path:
+        bundle = self.capture(reason, now, error=error)
+        self.bundle_path = write_bundle(bundle, self.config.bundle_dir)
+        return self.bundle_path
+
+    def detach(self) -> None:
+        if self.recorder is not None:
+            self.recorder.detach()
+        if self.monitor is not None:
+            self.monitor.detach()
+
+    def record_summary(self) -> dict[str, Any]:
+        """Digest stored on the run registry's ``forensics`` field."""
+        summary: dict[str, Any] = {}
+        if self.monitor is not None:
+            summary["health"] = self.monitor.summary()
+        if self.recorder is not None:
+            summary["recorder"] = {
+                "window": self.recorder.window,
+                "events_recorded": len(self.recorder),
+                "dropped": self.recorder.dropped,
+            }
+        if self.bundle_path is not None:
+            summary["bundle"] = str(self.bundle_path)
+        return summary
+
+
+# ---------------------------------------------------------------------------
+# rendering (repro postmortem)
+# ---------------------------------------------------------------------------
+
+
+def _channel_index(bundle: dict[str, Any]) -> dict[int, dict[str, Any]]:
+    return {entry["index"]: entry for entry in bundle.get("channels", [])}
+
+
+def _format_channel(channels: dict[int, dict[str, Any]], link: int, vc: int) -> str:
+    info = channels.get(link)
+    if info is None:
+        return f"link {link} vc {vc}"
+    return f"link {link} vc {vc} ({info['src']}->{info['dst']} {info['kind']})"
+
+
+def render_bundle_text(bundle: dict[str, Any], *, tail: int = 20) -> str:
+    """The human-readable postmortem report of one bundle."""
+    channels = _channel_index(bundle)
+    net = bundle["network"]
+    lines = [
+        f"postmortem: {bundle['reason']} at cycle {bundle['cycle']}",
+        f"error     : {bundle.get('error_type') or '-'}"
+        + (f": {bundle['error']}" if bundle.get("error") else ""),
+        f"network   : {net['n_nodes']} nodes, {net['n_links']} links, "
+        f"{net['buffered_flits']} flits buffered, "
+        f"{net['in_flight_flits']} in flight",
+        "",
+    ]
+    cycle = bundle["waitfor"]["cycle"]
+    if cycle:
+        lines.append(f"wait-for cycle ({len(cycle)} channels — deadlocked loop):")
+        for link, vc in cycle:
+            lines.append(f"  {_format_channel(channels, link, vc)}")
+    else:
+        lines.append("wait-for cycle: none found (stall, not a resource deadlock)")
+    blocked = bundle["waitfor"]["blocked"]
+    if blocked:
+        lines.append("")
+        lines.append(f"blocked input VCs ({len(blocked)}):")
+        lines.append("  node port vc state         pid      age  waiting on")
+        for entry in blocked[:20]:
+            wants = ", ".join(
+                _format_channel(channels, want[1], want[2])
+                for want in entry["wants"][:3]
+            )
+            lines.append(
+                f"  {entry['node']:>4d} {entry['port']:>4d} {entry['vc']:>2d} "
+                f"{entry['state']:<13s} {entry['pid']:>6d} {entry['age']:>7d}  "
+                f"{wants}"
+            )
+        if len(blocked) > 20:
+            lines.append(f"  ... and {len(blocked) - 20} more")
+    packets = bundle["packets"]
+    lines.append("")
+    lines.append(f"in-flight packets ({packets['total']}):")
+    lines.append("    pid  src->dst      age  flits  stage")
+    for entry in packets["table"][:15]:
+        lines.append(
+            f"  {entry['pid']:>5d}  {entry['src']:>3d}->{entry['dst']:<3d}  "
+            f"{entry['age']:>7d}  {entry['flits_in_network']:>5d}  {entry['stage']}"
+        )
+    if packets["total"] > 15:
+        lines.append(f"  ... and {packets['total'] - 15} more")
+    health = bundle.get("health")
+    if health:
+        lines.append("")
+        lines.append(
+            f"health: {health['probes']} probes, "
+            f"{health['anomaly_count']} anomalies "
+            f"(flags: {', '.join(health['flags']) or 'none'}), "
+            f"max in-flight age {health['max_oldest_age']}"
+        )
+        for anomaly in health["anomalies"][:8]:
+            lines.append(
+                f"  cycle {anomaly['cycle']}: {anomaly['kind']}: {anomaly['detail']}"
+            )
+    recorder = bundle.get("recorder")
+    if recorder:
+        lines.append("")
+        lines.append(
+            f"flight recorder: {recorder['events_recorded']} events retained "
+            f"(window {recorder['window']} cycles, {recorder['dropped']} dropped)"
+        )
+        for event in recorder["tail"][-tail:]:
+            fields = ", ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key not in ("event", "cycle")
+            )
+            lines.append(f"  cycle {event['cycle']:>8d} {event['event']:<14s} {fields}")
+    return "\n".join(lines)
+
+
+_BUNDLE_PAGE_STYLE = """
+:root { color-scheme: light dark; }
+body.viz-root {
+  --surface-1: #fcfcfb; --surface-2: #f4f3f1; --grid: #e6e4df;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-8: #e34948;
+  margin: 0; padding: 24px 32px 48px; background: var(--surface-1);
+  color: var(--text-primary); font: 14px/1.5 system-ui, sans-serif;
+  max-width: 1080px;
+}
+@media (prefers-color-scheme: dark) {
+  body.viz-root {
+    --surface-1: #1a1a19; --surface-2: #242423; --grid: #383835;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-8: #e66767;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+p.meta { color: var(--text-secondary); margin: 0 0 16px; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { padding: 4px 10px; text-align: right; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+pre { background: var(--surface-2); padding: 12px; overflow-x: auto;
+      font-size: 12px; border-radius: 6px; }
+.empty { color: var(--text-secondary); font-style: italic; }
+"""
+
+
+def render_bundle_html(bundle: dict[str, Any]) -> str:
+    """A self-contained HTML postmortem page for one bundle."""
+    from repro.viz import svg_node_heatmap, svg_waitfor_graph
+
+    channels = _channel_index(bundle)
+    waitfor = bundle["waitfor"]
+    net = bundle["network"]
+    esc = _html.escape
+
+    nodes = sorted(
+        {tuple(a) for a, _b in waitfor["edges"]}
+        | {tuple(b) for _a, b in waitfor["edges"]}
+    )
+    labels = {}
+    for vertex in nodes:
+        tag, first, second = vertex
+        if tag == "chan":
+            info = channels.get(first)
+            arrow = f"{info['src']}→{info['dst']}" if info else "?"
+            labels[vertex] = f"L{first}v{second} {arrow}"
+        else:
+            labels[vertex] = f"inject n{first}v{second}"
+    cycle_vertices = [("chan", link, vc) for link, vc in waitfor["cycle"]]
+    graph_svg = (
+        svg_waitfor_graph(
+            nodes,
+            [(tuple(a), tuple(b)) for a, b in waitfor["edges"]],
+            cycle=cycle_vertices,
+            labels=labels,
+            title="wait-for graph (blocked flits; red loop = deadlock cycle)",
+        )
+        if nodes
+        else '<p class="empty">no blocked flits — nothing waits on anything.</p>'
+    )
+
+    occupancy = {entry["node"]: entry["buffered"] for entry in bundle["routers"]}
+    heatmap_svg = svg_node_heatmap(
+        occupancy,
+        net["n_nodes"],
+        title="buffered flits per router",
+    )
+
+    packet_rows = "".join(
+        "<tr>"
+        f"<td>{entry['pid']}</td>"
+        f"<td>{entry['src']}&rarr;{entry['dst']}</td>"
+        f"<td>{entry['age']}</td>"
+        f"<td>{entry['flits_in_network']}</td>"
+        f"<td>{esc(entry['stage'])}</td>"
+        "</tr>"
+        for entry in bundle["packets"]["table"][:40]
+    )
+    packet_table = (
+        "<table><thead><tr><th>pid</th><th>route</th><th>age</th>"
+        "<th>flits</th><th>stage</th></tr></thead>"
+        f"<tbody>{packet_rows}</tbody></table>"
+        if packet_rows
+        else '<p class="empty">no packets in flight.</p>'
+    )
+
+    health = bundle.get("health")
+    if health:
+        anomaly_rows = "".join(
+            f"<tr><td>{a['cycle']}</td><td>{esc(a['kind'])}</td>"
+            f"<td>{esc(a['detail'])}</td></tr>"
+            for a in health["anomalies"]
+        )
+        health_html = (
+            f"<p class=\"meta\">{health['probes']} probes, "
+            f"{health['anomaly_count']} anomalies, max in-flight age "
+            f"{health['max_oldest_age']}</p>"
+            + (
+                "<table><thead><tr><th>cycle</th><th>kind</th><th>detail</th>"
+                f"</tr></thead><tbody>{anomaly_rows}</tbody></table>"
+                if anomaly_rows
+                else '<p class="empty">no anomalies flagged.</p>'
+            )
+        )
+    else:
+        health_html = '<p class="empty">no health monitor was attached.</p>'
+
+    recorder = bundle.get("recorder")
+    if recorder and recorder["tail"]:
+        tail_text = "\n".join(
+            f"cycle {event['cycle']:>8d} {event['event']:<14s} "
+            + ", ".join(
+                f"{key}={value}"
+                for key, value in event.items()
+                if key not in ("event", "cycle")
+            )
+            for event in recorder["tail"]
+        )
+        recorder_html = (
+            f"<p class=\"meta\">{recorder['events_recorded']} events retained, "
+            f"window {recorder['window']} cycles, {recorder['dropped']} "
+            f"dropped</p><pre>{esc(tail_text)}</pre>"
+        )
+    else:
+        recorder_html = '<p class="empty">no flight recorder was attached.</p>'
+
+    error_line = (
+        f"{esc(str(bundle.get('error_type')))}: {esc(str(bundle.get('error')))}"
+        if bundle.get("error")
+        else "no exception recorded"
+    )
+    sections = [
+        f"<h1>postmortem — {esc(bundle['reason'])} at cycle {bundle['cycle']}</h1>",
+        f'<p class="meta">{error_line} &middot; {net["n_nodes"]} nodes, '
+        f"{net['n_links']} links &middot; {net['buffered_flits']} flits "
+        f"buffered, {net['in_flight_flits']} in flight</p>",
+        "<h2>Wait-for graph</h2>",
+        f"<figure>{graph_svg}</figure>",
+        "<h2>Router occupancy</h2>",
+        f"<figure>{heatmap_svg}</figure>",
+        "<h2>In-flight packets</h2>",
+        packet_table,
+        "<h2>Health</h2>",
+        health_html,
+        "<h2>Flight recorder tail</h2>",
+        recorder_html,
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">"
+        "<title>repro postmortem</title>"
+        f"<style>{_BUNDLE_PAGE_STYLE}</style></head>"
+        f"<body class=\"viz-root\">{''.join(sections)}</body></html>\n"
+    )

@@ -117,6 +117,10 @@ class RunRecord:
     #: so records written before this field existed keep loading under
     #: schema v1.
     breakdown: dict[str, Any] = field(default_factory=dict)
+    #: Compact forensics summary (``ForensicsSession.record_summary``:
+    #: health flags, recorder stats, bundle path; empty unless the run
+    #: attached forensics).  Defaulted for the same schema-v1 reason.
+    forensics: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -162,6 +166,10 @@ def record_from_result(
     ledger = getattr(session, "ledger", None)
     if ledger is not None:
         breakdown = ledger.record_summary()
+    forensics: dict[str, Any] = {}
+    forensics_session = getattr(session, "forensics", None)
+    if forensics_session is not None:
+        forensics = forensics_session.record_summary()
     return RunRecord(
         run_id=new_run_id(),
         created=utc_now_iso(),
@@ -181,6 +189,7 @@ def record_from_result(
         artifacts=dict(artifacts or {}),
         extras=dict(extras or {}),
         breakdown=breakdown,
+        forensics=forensics,
     )
 
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import IO, TYPE_CHECKING, Callable, Optional
 
 from .attribution import LatencyLedger
+from .forensics import ForensicsConfig, ForensicsSession, HealthThresholds
 from .metrics import EpochMetrics
 from .progress import ProgressReporter
 from .trace import ChromeTraceBuilder
@@ -58,6 +59,32 @@ class TelemetryConfig:
     latency_breakdown: bool = False
     #: Write the per-stage breakdown CSV here (implies the ledger).
     breakdown_csv: Optional[str | Path] = None
+    #: Collect per-epoch metrics.  On by default; the CLI turns it off for
+    #: configs that exist only to carry forensics capture, so plain runs
+    #: keep the zero-subscriber fast path.
+    epoch_metrics: bool = True
+    #: Capture a postmortem bundle when the run fails (deadlock, drain
+    #: timeout, invariant violation) — see
+    #: :class:`~repro.telemetry.forensics.ForensicsSession`.
+    forensics: bool = False
+    #: Directory postmortem bundles are written into.
+    bundle_dir: str | Path = "forensics"
+    #: Attach the :class:`~repro.telemetry.forensics.FlightRecorder` ring
+    #: buffer (implies ``forensics``; its tail lands in captured bundles).
+    flight_recorder: bool = False
+    #: Recorder history window in cycles.
+    recorder_window: int = 4_096
+    #: Recorder detail preset (``"packet"``, ``"route"`` or ``"full"``).
+    recorder_events: str = "packet"
+    #: Attach the :class:`~repro.telemetry.forensics.HealthMonitor` live
+    #: probes (implies ``forensics``).
+    health: bool = False
+    #: Cycles between health probes.
+    health_every: int = 2_000
+    #: Health anomaly thresholds (None: defaults).
+    health_thresholds: Optional[HealthThresholds] = None
+    #: Stream for live health-anomaly flags (None: keep them in memory).
+    health_stream: Optional[IO[str]] = None
 
 
 @dataclass
@@ -70,6 +97,7 @@ class TelemetrySession:
     trace: Optional[ChromeTraceBuilder] = None
     progress: Optional[ProgressReporter] = None
     ledger: Optional[LatencyLedger] = None
+    forensics: Optional[ForensicsSession] = None
     #: cProfile report text (set by the harness when profiling was requested).
     profile_text: Optional[str] = None
     #: Files written by :meth:`finalize`.
@@ -87,9 +115,10 @@ class TelemetrySession:
         """Instantiate the collectors a config asks for and subscribe them."""
         config = config or TelemetryConfig()
         session = cls(network=network, config=config)
-        session.metrics = EpochMetrics(
-            network, epoch_length=config.epoch_length, warmup=warmup
-        )
+        if config.epoch_metrics:
+            session.metrics = EpochMetrics(
+                network, epoch_length=config.epoch_length, warmup=warmup
+            )
         if config.trace_path is not None:
             session.trace = ChromeTraceBuilder(
                 network,
@@ -105,6 +134,19 @@ class TelemetrySession:
             )
         if config.latency_breakdown or config.breakdown_csv is not None:
             session.ledger = LatencyLedger(network, measure_from=warmup)
+        if config.forensics or config.flight_recorder or config.health:
+            forensics_config = ForensicsConfig(
+                bundle_dir=config.bundle_dir,
+                flight_recorder=config.flight_recorder,
+                recorder_window=config.recorder_window,
+                recorder_events=config.recorder_events,
+                health=config.health,
+                health_every=config.health_every,
+                health_stream=config.health_stream,
+            )
+            if config.health_thresholds is not None:
+                forensics_config.thresholds = config.health_thresholds
+            session.forensics = ForensicsSession(network, forensics_config)
         return session
 
     def finalize(self, end_cycle: int) -> list[Path]:
@@ -123,4 +165,6 @@ class TelemetrySession:
             self.ledger.detach()
             if self.config.breakdown_csv is not None:
                 self.written.append(self.ledger.write_csv(self.config.breakdown_csv))
+        if self.forensics is not None:
+            self.forensics.detach()
         return self.written

@@ -15,7 +15,13 @@ analysis.
 * :func:`svg_line_chart` — a dependency-free inline-SVG line chart used
   by ``repro dashboard``;
 * :func:`svg_stacked_bars` — inline-SVG horizontal stacked bars (the
-  dashboard's latency-attribution panel).
+  dashboard's latency-attribution panel);
+* :func:`svg_waitfor_graph` — inline-SVG directed graph on a circular
+  layout with the deadlock cycle highlighted (``repro postmortem``);
+* :func:`svg_node_heatmap` — inline-SVG per-node occupancy grid
+  (``repro postmortem``'s router-occupancy panel);
+* :func:`svg_sparkline` — a compact inline trend line (the dashboard's
+  health panel).
 """
 
 from __future__ import annotations
@@ -445,6 +451,213 @@ def svg_stacked_bars(
         )
     parts.append("</svg>")
     return "".join(parts)
+
+
+def svg_waitfor_graph(
+    nodes: Sequence,
+    edges: Sequence[tuple],
+    *,
+    cycle: Sequence = (),
+    labels: dict | None = None,
+    width: int = 640,
+    height: int = 480,
+    title: str = "",
+) -> str:
+    """Render a directed wait-for graph on a circular layout.
+
+    ``nodes`` are hashable vertex identities, ``edges`` are ``(a, b)``
+    pairs, ``cycle`` the ordered vertices of the blocking loop (its edges
+    — including the wrap-around — and vertices draw in the alarm color).
+    Pure stdlib, same conventions as :func:`svg_line_chart`; ``labels``
+    maps vertices to display strings (default: ``str(vertex)``).
+    """
+    if not nodes:
+        raise ValueError("nodes must be non-empty")
+    labels = labels or {}
+    cycle = list(cycle)
+    cycle_edges = {
+        (cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+    }
+    cycle_nodes = set(cycle)
+    margin_t = 28 if title else 12
+    cx, cy = width / 2, margin_t + (height - margin_t) / 2
+    radius = min(width, height - margin_t) / 2 - 90
+    pos: dict = {}
+    for index, node in enumerate(nodes):
+        angle = 2 * math.pi * index / len(nodes) - math.pi / 2
+        pos[node] = (cx + radius * math.cos(angle), cy + radius * math.sin(angle))
+    edge_color = "var(--text-secondary, #52514e)"
+    alarm = f"var(--series-8, {SVG_SERIES_COLORS[7]})"
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'font-family="system-ui, sans-serif" font-size="11">',
+        # Arrowheads: context-stroke is not universally supported, so one
+        # marker per color.
+        '<defs>'
+        '<marker id="wf-arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        f'<path d="M 0 0 L 10 5 L 0 10 z" fill="{edge_color}"/></marker>'
+        '<marker id="wf-arrow-cycle" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        f'<path d="M 0 0 L 10 5 L 0 10 z" fill="{alarm}"/></marker>'
+        "</defs>",
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="16" text-anchor="middle" '
+            f'font-size="13" font-weight="600" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(title)}</text>'
+        )
+    node_r = 7.0
+    for a, b in edges:
+        if a not in pos or b not in pos or a == b:
+            continue
+        ax, ay = pos[a]
+        bx, by = pos[b]
+        length = math.hypot(bx - ax, by - ay) or 1.0
+        # Trim both ends so the line meets the node circle, not its center.
+        ux, uy = (bx - ax) / length, (by - ay) / length
+        x1, y1 = ax + ux * (node_r + 2), ay + uy * (node_r + 2)
+        x2, y2 = bx - ux * (node_r + 6), by - uy * (node_r + 6)
+        hot = (a, b) in cycle_edges
+        dim = "" if hot else ' opacity="0.55"'
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{alarm if hot else edge_color}" '
+            f'stroke-width="{2.5 if hot else 1.2}" '
+            f'marker-end="url(#wf-arrow{"-cycle" if hot else ""})"{dim}/>'
+        )
+    for node in nodes:
+        x, y = pos[node]
+        hot = node in cycle_nodes
+        label = str(labels.get(node, node))
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_r}" '
+            f'fill="{alarm if hot else f"var(--series-1, {SVG_SERIES_COLORS[0]})"}" '
+            f'stroke="var(--surface-1, #fcfcfb)" stroke-width="2">'
+            f"<title>{html.escape(label)}</title></circle>"
+        )
+        # Label outward from the center so text clears the ring.
+        dx, dy = x - cx, y - cy
+        dist = math.hypot(dx, dy) or 1.0
+        lx, ly = x + dx / dist * 14, y + dy / dist * 14
+        anchor = "start" if dx > 1 else ("end" if dx < -1 else "middle")
+        parts.append(
+            f'<text x="{lx:.1f}" y="{ly + 4:.1f}" text-anchor="{anchor}" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_node_heatmap(
+    occupancy: dict[int, float],
+    n_nodes: int,
+    *,
+    columns: int | None = None,
+    title: str = "",
+    cell: int = 34,
+) -> str:
+    """Render per-node values as a square-cell heatmap grid.
+
+    ``occupancy`` maps node id to value (missing nodes read as zero);
+    the grid is ``columns`` wide (default: near-square).  Intensity maps
+    onto the opacity of one series color, so the chart restyles with the
+    page palette; every cell carries a native tooltip.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    columns = columns or max(1, math.ceil(math.sqrt(n_nodes)))
+    rows = math.ceil(n_nodes / columns)
+    margin_t = 28 if title else 6
+    gap = 3
+    width = columns * (cell + gap) + 12
+    height = margin_t + rows * (cell + gap) + 6
+    peak = max((float(v) for v in occupancy.values()), default=0.0) or 1.0
+    fill = f"var(--series-2, {SVG_SERIES_COLORS[1]})"
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'font-family="system-ui, sans-serif" font-size="10">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="6" y="16" font-size="13" font-weight="600" '
+            f'fill="var(--text-primary, #0b0b0b)">{html.escape(title)}</text>'
+        )
+    for node in range(n_nodes):
+        value = float(occupancy.get(node, 0.0))
+        x = 6 + (node % columns) * (cell + gap)
+        y = margin_t + (node // columns) * (cell + gap)
+        if value > 0:
+            opacity = 0.15 + 0.85 * value / peak
+            body = f'fill="{fill}" fill-opacity="{opacity:.2f}"'
+        else:
+            body = 'fill="var(--surface-2, #f4f3f1)"'
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" rx="4" '
+            f"{body}><title>node {node}: {value:g}</title></rect>"
+        )
+        parts.append(
+            f'<text x="{x + cell / 2:.1f}" y="{y + cell / 2 + 3.5:.1f}" '
+            f'text-anchor="middle" fill="var(--text-primary, #0b0b0b)">'
+            f"{node}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 180,
+    height: int = 36,
+    title: str = "",
+) -> str:
+    """Render a compact inline trend line (no axes, last point dotted).
+
+    The dashboard's health panel uses it for oldest-packet-age series;
+    the stroke is one series color via a CSS custom property so the
+    sparkline restyles with the page palette.  A native tooltip carries
+    ``title`` plus the min/max range.
+    """
+    finite = [float(v) for v in values if not math.isnan(float(v))]
+    stroke = f"var(--series-1, {SVG_SERIES_COLORS[0]})"
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img">'
+    )
+    if len(finite) < 2:
+        label = f"{finite[0]:g}" if finite else "no data"
+        return (
+            f'{head}<text x="4" y="{height / 2 + 4:.0f}" font-size="11" '
+            f'font-family="system-ui, sans-serif" '
+            f'fill="var(--text-secondary, #52514e)">{html.escape(label)}'
+            f"</text></svg>"
+        )
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    pad = 4.0
+    step = (width - 2 * pad) / (len(finite) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(finite)
+    )
+    last_x = pad + (len(finite) - 1) * step
+    last_y = height - pad - (finite[-1] - lo) / span * (height - 2 * pad)
+    tooltip = html.escape(
+        f"{title + ': ' if title else ''}min {lo:g}, max {hi:g}, "
+        f"last {finite[-1]:g}"
+    )
+    return (
+        f"{head}<title>{tooltip}</title>"
+        f'<polyline points="{points}" fill="none" stroke="{stroke}" '
+        f'stroke-width="1.5" stroke-linejoin="round"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5" '
+        f'fill="{stroke}"/></svg>'
+    )
 
 
 def ascii_curve(

@@ -121,3 +121,43 @@ def test_dashboard_breakdown_empty_state(tmp_path):
     page = build_dashboard(results, scale="tiny", runs_dir=runs)
     assert "no runs with a latency breakdown yet" in page
     assert "--latency-breakdown" in page
+
+
+def test_dashboard_health_section(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    store = RunStore(runs)
+    store.append(make_record(label="plain"))  # no forensics: skipped
+    store.append(make_record(
+        label="probed",
+        forensics={
+            "health": {
+                "probes": 5,
+                "anomaly_count": 1,
+                "flags": ["no-throughput"],
+                "max_oldest_age": 480,
+                "anomalies": [{"cycle": 499, "kind": "no-throughput",
+                               "detail": "zero packets delivered"}],
+                "oldest_age_series": [[99, 10], [199, 120], [299, 480]],
+            },
+            "bundle": "forensics/BUNDLE_deadlock_557.json",
+        },
+    ))
+
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "Run health" in page
+    assert "no-throughput" in page
+    assert "<polyline" in page  # the oldest-age sparkline
+    assert "BUNDLE_deadlock_557.json" in page
+    assert "no runs with health probes yet" not in page
+
+
+def test_dashboard_health_empty_state(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    RunStore(runs).append(make_record(label="plain"))
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "no runs with health probes yet" in page
+    assert "--health" in page

@@ -182,3 +182,21 @@ def test_svg_stacked_bars_all_zero_bar_renders():
     svg = svg_stacked_bars([("idle", [0.0, 0.0])], ["a", "b"], title="t")
     assert svg.count("<title>") == 0  # nothing to draw, nothing to tip
     assert "idle" in svg  # the bar label still appears
+
+
+def test_svg_sparkline_renders_trend_and_degenerate_inputs():
+    from repro.viz import svg_sparkline
+
+    svg = svg_sparkline([10.0, 120.0, 480.0], title="oldest age")
+    assert svg.count("<polyline") == 1
+    assert svg.count("<circle") == 1  # last point marked
+    assert "oldest age: min 10, max 480, last 480" in svg
+    assert "var(--series-1" in svg
+
+    # Fewer than two finite points degrades to a text label, not a line.
+    single = svg_sparkline([42.0])
+    assert "<polyline" not in single and ">42<" in single
+    empty = svg_sparkline([])
+    assert "no data" in empty
+    nans = svg_sparkline([float("nan"), 7.0])
+    assert "<polyline" not in nans and ">7<" in nans
