@@ -1,20 +1,52 @@
-"""Static verification and runtime sanitizing for chiplet systems.
+"""Static verification, certification and runtime sanitizing.
 
-Three layers (see ``docs/analysis.md``):
+Four layers (see ``docs/analysis.md``):
 
 * **static verification** — :func:`verify_network` / :func:`verify_family`
   run the topology/config linter, the (extended) channel-dependency-graph
   deadlock check and the routing-state livelock check over a built system
   and return a :class:`Report`;
+* **certification** — :func:`prove_family` / :func:`prove_all` stack the
+  interface-contract checker, exhaustive reachability proofs (including
+  the single-link fault-mask sweep) and a bounded explicit-state model
+  checker on top, adjudicate CDG cycles (realize with a replayable
+  counterexample, or refute) and emit schema-versioned
+  :class:`Certificate` artifacts;
 * **runtime sanitizer** — :class:`InvariantChecker` instruments a network
   and asserts flow-control invariants while a simulation runs;
-* **CLI** — ``repro check`` exposes the static passes with a non-zero
-  exit code on violations, for CI gating.
+* **CLI** — ``repro check`` exposes the static passes and ``repro prove``
+  the certification engine, both with non-zero exit codes for CI gating.
 """
 
 from .cdg import MODES, ChannelDependencyGraph, build_cdg, split_candidates
+from .certificate import (
+    CERT_SCHEMA_VERSION,
+    Certificate,
+    CertificateError,
+    certificate_dir,
+    load_certificate,
+    load_certificates,
+    write_certificate,
+)
+from .contracts import check_contracts
 from .lint import lint_network, lint_spec
 from .livelock import LivelockAnalysis, analyse_livelock
+from .modelcheck import (
+    CounterexampleTrace,
+    ModelCheckResult,
+    ReplayResult,
+    check_network,
+    cycle_feed_pool,
+    replay_counterexample,
+)
+from .prove import ProveResult, prove_all, prove_family, prove_network
+from .reachability import (
+    FaultSweep,
+    ReachabilityAnalysis,
+    analyse_reachability,
+    reachability_pass,
+    sweep_fault_masks,
+)
 from .report import Finding, Report, Severity
 from .sanitizer import InvariantChecker, InvariantViolation
 from .verifier import (
@@ -30,10 +62,33 @@ __all__ = [
     "ChannelDependencyGraph",
     "build_cdg",
     "split_candidates",
+    "CERT_SCHEMA_VERSION",
+    "Certificate",
+    "CertificateError",
+    "certificate_dir",
+    "load_certificate",
+    "load_certificates",
+    "write_certificate",
+    "check_contracts",
     "lint_network",
     "lint_spec",
     "LivelockAnalysis",
     "analyse_livelock",
+    "CounterexampleTrace",
+    "ModelCheckResult",
+    "ReplayResult",
+    "check_network",
+    "cycle_feed_pool",
+    "replay_counterexample",
+    "ProveResult",
+    "prove_all",
+    "prove_family",
+    "prove_network",
+    "FaultSweep",
+    "ReachabilityAnalysis",
+    "analyse_reachability",
+    "reachability_pass",
+    "sweep_fault_masks",
     "Finding",
     "Report",
     "Severity",

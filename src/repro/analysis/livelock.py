@@ -85,6 +85,8 @@ def _state_graph(
         probe = _probe(node, dst, state)
         candidates = router.routing_fn(router, probe)
         choice_after = probe.subnet_choice
+        # Routing itself may ban the packet (fault-detour livelock rule).
+        route_banned = banned or probe.adaptive_banned
         saw_adaptive = any(not is_escape for _p, _v, is_escape in candidates)
         for port, _vc, is_escape in candidates:
             link = router.outputs[port].link
@@ -93,7 +95,7 @@ def _state_graph(
             next_node = link.dst_router.node
             # Escape is taken alongside live adaptive candidates only when
             # every adaptive candidate is blocked — which bans the packet.
-            next_banned = banned or (is_escape and saw_adaptive)
+            next_banned = route_banned or (is_escape and saw_adaptive)
             succ = (next_node, next_banned, choice_after)
             if next_node == dst:
                 succ = (dst, next_banned, choice_after)  # terminal vertex

@@ -75,6 +75,43 @@ class Report:
         """Distinct finding codes (handy in tests)."""
         return {f.code for f in self.findings}
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable schema; see docs/analysis.md)."""
+        return {
+            "system": self.system,
+            "mode": self.mode,
+            "ok": self.ok,
+            "passes": list(self.passes),
+            "metrics": dict(self.metrics),
+            "findings": [
+                {
+                    "severity": f.severity.name,
+                    "code": f.code,
+                    "target": f.target,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Report":
+        """Inverse of :meth:`to_dict` (the derived ``ok`` field is ignored)."""
+        report = cls(
+            system=data["system"],
+            mode=data.get("mode", "vct"),
+            passes=list(data.get("passes", [])),
+            metrics=dict(data.get("metrics", {})),
+        )
+        for entry in data.get("findings", []):
+            report.add(
+                Severity[entry["severity"]],
+                entry["code"],
+                entry["target"],
+                entry["message"],
+            )
+        return report
+
     def render(self, *, verbose: bool = False) -> str:
         """Human-readable multi-line summary of the report."""
         lines = [f"== {self.system} [mode={self.mode}] =="]

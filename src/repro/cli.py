@@ -10,6 +10,8 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro simulate --metrics out/ --trace run.json --epoch 500 --profile
     repro check --all                  # statically verify every family
     repro check --family serial_torus --mode wormhole
+    repro prove --all --json prove.json   # full certification, both modes
+    repro prove --family serial_torus --mode wormhole --max-states 8000
     repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
     repro compare BENCH_0.json BENCH_1.json --strict
     repro dashboard --out dashboard.html
@@ -19,6 +21,16 @@ Output is the plain-text table of the experiment (add ``--csv`` for CSV).
 ``repro check`` prints one findings report per verified system and exits
 non-zero if any report contains an error — the CI deadlock/livelock/lint
 gate (see docs/analysis.md).
+
+``repro prove`` stacks the certification passes (interface contracts,
+exhaustive reachability with the single-link fault-mask sweep, bounded
+model checking of reported CDG cycles) on top of ``check`` and writes one
+schema-versioned ``CERT_<system>_<mode>.json`` per (system, mode) pair
+into the run registry's ``certificates/`` subdirectory.  ``--json PATH``
+additionally writes every certificate into one machine-readable document.
+Exit codes for both ``check`` and ``prove``: 0 — every system passed /
+was certified; 1 — at least one system failed, was refused certification
+or could not be built; 2 — usage error.
 
 When a simulation wedges (deadlock, drain timeout, invariant violation),
 ``repro simulate`` writes a postmortem bundle into ``forensics/`` and
@@ -35,6 +47,7 @@ config hash, git revision and seed — see docs/perf.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -324,13 +337,36 @@ def _cmd_dashboard(args) -> int:
     return 0
 
 
+def _write_json_doc(path: str, doc: dict) -> None:
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {path}")
+
+
 def _cmd_check(args) -> int:
     from repro.analysis import verify_family
 
     chiplets = _parse_pair(args.chiplets, "--chiplets")
     nodes = _parse_pair(args.nodes, "--nodes")
     families = list(FAMILIES) if args.all else [args.family]
+    if args.prove:
+        # One-shot certification with check's single-mode semantics; use
+        # `repro prove` for the durable certificate + run-registry flow.
+        return _run_prove(
+            families,
+            (args.mode,),
+            chiplets=chiplets,
+            nodes=nodes,
+            fault_masks=True,
+            max_states=4_000,
+            max_packets=None,
+            verbose=args.verbose,
+            json_path=args.json,
+            runs_dir=None,
+        )
     failed = 0
+    payload: list[dict] = []
     for family in families:
         try:
             report = verify_family(
@@ -340,15 +376,143 @@ def _cmd_check(args) -> int:
             # e.g. a geometry the family cannot be built on; report and
             # keep sweeping the remaining families.
             print(f"== {family} ==\n  ERROR   BUILD-FAILED {exc}\n  FAIL: could not build")
+            payload.append(
+                {"system": family, "mode": args.mode, "ok": False, "error": str(exc)}
+            )
             failed += 1
             continue
         print(report.render(verbose=args.verbose))
+        payload.append(report.to_dict())
         if not report.ok:
             failed += 1
+    if args.json:
+        _write_json_doc(args.json, {"ok": failed == 0, "reports": payload})
     if failed:
         print(f"\n{failed}/{len(families)} system(s) FAILED verification")
         return 1
     return 0
+
+
+def _run_prove(
+    families: list[str],
+    modes: tuple[str, ...],
+    *,
+    chiplets: tuple[int, int],
+    nodes: tuple[int, int],
+    fault_masks: bool,
+    max_states: int,
+    max_packets: int | None,
+    verbose: bool,
+    json_path: str | None,
+    runs_dir: str | None,
+) -> int:
+    """Certify ``families`` x ``modes``; returns the process exit status.
+
+    ``runs_dir=None`` skips both the certificate files and the
+    run-registry append (the ``check --prove`` and ``--no-record`` paths);
+    ``--json`` still captures every certificate either way.
+    """
+    from repro.analysis import prove_family, write_certificate
+    from repro.telemetry.runstore import (
+        RunRecord,
+        RunStore,
+        git_revision,
+        new_run_id,
+        utc_now_iso,
+    )
+
+    store = RunStore(runs_dir) if runs_dir is not None else None
+    git_rev = git_revision() if store else "unknown"
+    payload: list[dict] = []
+    failed = 0
+    total = 0
+    for family in families:
+        for mode in modes:
+            total += 1
+            start = time.perf_counter()
+            try:
+                result = prove_family(
+                    family,
+                    chiplets=chiplets,
+                    nodes=nodes,
+                    mode=mode,
+                    fault_masks=fault_masks,
+                    max_states=max_states,
+                    max_packets=max_packets,
+                )
+            except ValueError as exc:
+                print(
+                    f"== {family} [mode={mode}] ==\n"
+                    f"  ERROR   BUILD-FAILED {exc}\n  FAIL: could not build"
+                )
+                payload.append(
+                    {
+                        "family": family,
+                        "mode": mode,
+                        "certified": False,
+                        "error": str(exc),
+                    }
+                )
+                failed += 1
+                continue
+            elapsed = time.perf_counter() - start
+            cert = result.certificate
+            print(result.report.render(verbose=verbose))
+            artifacts: dict[str, str] = {}
+            if store is not None and runs_dir is not None:
+                cert_path = write_certificate(cert, runs_dir)
+                artifacts["certificate"] = str(cert_path)
+                print(f"  certificate: {cert_path}")
+                store.append(
+                    RunRecord(
+                        run_id=new_run_id(),
+                        created=utc_now_iso(),
+                        kind="prove",
+                        label=f"{family}:{mode}",
+                        config_hash=cert.config_hash,
+                        git_rev=git_rev,
+                        n_nodes=chiplets[0] * chiplets[1] * nodes[0] * nodes[1],
+                        wall_seconds=elapsed,
+                        artifacts=artifacts,
+                        extras={
+                            "certified": float(cert.certified),
+                            "fault_masks": float(cert.fault_masks.get("swept", 0)),
+                            "errors": float(len(result.report.errors)),
+                            "warnings": float(len(result.report.warnings)),
+                        },
+                    )
+                )
+            verdict = "CERTIFIED" if cert.certified else "NOT CERTIFIED"
+            print(f"  {verdict} in {elapsed:.1f}s")
+            print()
+            payload.append(cert.to_dict())
+            if not cert.certified:
+                failed += 1
+    if json_path:
+        _write_json_doc(
+            json_path, {"certified": failed == 0, "certificates": payload}
+        )
+    if failed:
+        print(f"{failed}/{total} certification(s) FAILED")
+        return 1
+    return 0
+
+
+def _cmd_prove(args) -> int:
+    families = list(FAMILIES) if args.all else [args.family]
+    modes = ("vct", "wormhole") if args.mode == "both" else (args.mode,)
+    return _run_prove(
+        families,
+        modes,
+        chiplets=_parse_pair(args.chiplets, "--chiplets"),
+        nodes=_parse_pair(args.nodes, "--nodes"),
+        fault_masks=not args.no_fault_masks,
+        max_states=args.max_states,
+        max_packets=args.max_packets,
+        verbose=args.verbose,
+        json_path=args.json,
+        runs_dir=None if args.no_record else args.runs_dir,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -606,12 +770,86 @@ def main(argv: list[str] | None = None) -> int:
         help="flow-control assumption for the CDG analysis (default: vct, "
         "the discipline the routers actually enforce)",
     )
-    check_p.add_argument("--chiplets", default="2x2", help="chiplet grid, e.g. 2x2")
+    check_p.add_argument(
+        "--chiplets",
+        "--grid",
+        dest="chiplets",
+        default="2x2",
+        help="chiplet grid, e.g. 2x2 (--grid is an alias)",
+    )
     check_p.add_argument("--nodes", default="3x3", help="per-chiplet mesh, e.g. 3x3")
     check_p.add_argument(
         "--verbose", action="store_true", help="include INFO findings in reports"
     )
+    check_p.add_argument(
+        "--prove",
+        action="store_true",
+        help="run the full certification passes (contracts, reachability, "
+        "fault sweep, model checking) instead of the check passes alone",
+    )
+    check_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the reports (or, with --prove, the certificates) "
+        "as one JSON document",
+    )
     check_p.set_defaults(func=_cmd_check)
+
+    prove_p = sub.add_parser(
+        "prove",
+        help="certify families: interface contracts, exhaustive "
+        "reachability, single-link fault sweep and bounded model checking "
+        "on top of `check`",
+    )
+    prove_group = prove_p.add_mutually_exclusive_group(required=True)
+    prove_group.add_argument("--family", choices=FAMILIES)
+    prove_group.add_argument(
+        "--all", action="store_true", help="certify every registered family"
+    )
+    prove_p.add_argument(
+        "--mode",
+        choices=("vct", "wormhole", "both"),
+        default="both",
+        help="flow-control assumption(s) to certify under (default: both)",
+    )
+    prove_p.add_argument(
+        "--chiplets",
+        "--grid",
+        dest="chiplets",
+        default="2x2",
+        help="chiplet grid, e.g. 2x2 (--grid is an alias)",
+    )
+    prove_p.add_argument("--nodes", default="3x3", help="per-chiplet mesh, e.g. 3x3")
+    prove_p.add_argument(
+        "--no-fault-masks",
+        action="store_true",
+        help="skip the single-link fault-mask reachability sweep",
+    )
+    prove_p.add_argument(
+        "--max-states",
+        type=int,
+        default=4_000,
+        help="model-checker state budget per adjudicated cycle (default: 4000)",
+    )
+    prove_p.add_argument(
+        "--max-packets",
+        type=int,
+        default=None,
+        help="model-checker in-flight packet bound (default: sized from "
+        "the adjudicated cycle's channel capacities)",
+    )
+    prove_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write every certificate into one JSON document",
+    )
+    prove_p.add_argument(
+        "--verbose", action="store_true", help="include INFO findings in reports"
+    )
+    add_record_args(prove_p)
+    prove_p.set_defaults(func=_cmd_prove)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -56,6 +56,13 @@ class FaultTolerantRouting:
                 f"packet for node {packet.dst} stranded at node {router.node}: "
                 "all candidate channels failed"
             )
+        if len(filtered) != len(candidates):
+            # The packet detours around a fault, which invalidates the
+            # minimal-progress livelock argument (a tied adaptive choice can
+            # otherwise shuttle it between the fault's endpoints forever).
+            # Apply the Sec 6.2 livelock rule from the next hop on: restrict
+            # the packet to the (intact) escape discipline.
+            packet.adaptive_banned = True
         return filtered
 
 

@@ -93,7 +93,9 @@ class RunRecord:
     schema_version: int = RUN_SCHEMA_VERSION
     run_id: str = ""
     created: str = ""
-    #: ``"experiment"`` (repro run), ``"simulate"`` or ``"bench"``.
+    #: ``"experiment"`` (repro run), ``"simulate"``, ``"bench"`` or
+    #: ``"prove"`` (certification runs; their certificate path rides in
+    #: ``artifacts``).
     kind: str = "simulate"
     #: Experiment name or system-family label.
     label: str = ""

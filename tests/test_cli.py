@@ -177,6 +177,139 @@ def test_check_requires_family_or_all():
         main(["check"])
 
 
+def test_check_grid_alias_accepts_nondefault_geometry(capsys):
+    assert main(
+        ["check", "--family", "parallel_mesh", "--grid", "3x2", "--nodes", "2x2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "parallel-mesh-3x2(2x2)" in out
+    assert "PASS" in out
+
+
+def test_check_json_document(tmp_path, capsys):
+    json_path = tmp_path / "check.json"
+    assert main(["check", "--all", "--json", str(json_path)]) == 0
+    assert f"wrote {json_path}" in capsys.readouterr().out
+    doc = json.loads(json_path.read_text())
+    assert doc["ok"] is True
+    assert len(doc["reports"]) == 5
+    assert all(r["ok"] for r in doc["reports"])
+    assert {r["mode"] for r in doc["reports"]} == {"vct"}
+
+
+def test_check_prove_flag_certifies(tmp_path, capsys):
+    json_path = tmp_path / "prove.json"
+    code = main(
+        ["check", "--family", "parallel_mesh", "--prove", "--json", str(json_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CERTIFIED" in out
+    doc = json.loads(json_path.read_text())
+    assert doc["certified"] is True
+    [cert] = doc["certificates"]
+    assert cert["family"] == "parallel_mesh"
+    assert cert["schema_version"] == 1
+
+
+def test_prove_writes_certificate_and_registry_record(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    code = main(
+        [
+            "prove",
+            "--family",
+            "parallel_mesh",
+            "--mode",
+            "vct",
+            "--runs-dir",
+            str(runs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CERTIFIED" in out
+    cert_path = runs_dir / "certificates" / "CERT_parallel-mesh-2x2(3x3)_vct.json"
+    assert cert_path.is_file()
+    cert = json.loads(cert_path.read_text())
+    assert cert["certified"] is True
+    from repro.telemetry.runstore import RunStore
+
+    [record] = RunStore(runs_dir).load()
+    assert record.kind == "prove"
+    assert record.label == "parallel_mesh:vct"
+    assert record.extras["certified"] == 1.0
+    assert record.artifacts["certificate"] == str(cert_path)
+
+
+def test_prove_both_modes_refutes_wormhole_cycles(tmp_path, capsys):
+    json_path = tmp_path / "prove.json"
+    code = main(
+        [
+            "prove",
+            "--family",
+            "serial_torus",
+            "--no-fault-masks",
+            "--no-record",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[mode=vct]" in out
+    assert "[mode=wormhole]" in out
+    assert "CDG-CYCLE-REFUTED" in out
+    doc = json.loads(json_path.read_text())
+    assert doc["certified"] is True
+    assert [c["mode"] for c in doc["certificates"]] == ["vct", "wormhole"]
+    wormhole = doc["certificates"][1]
+    assert wormhole["modelcheck"]["verdict"].startswith("refuted")
+
+
+def test_prove_exits_nonzero_on_injected_cycle(capsys, monkeypatch):
+    """A genuinely deadlocking escape must be refused certification with
+    a realized counterexample, not downgraded."""
+
+    def ring_factory(spec, **_kwargs):
+        def ring_routing(router, packet):
+            if packet.dst == router.node:
+                return [(0, 0, True)]
+            by_tag = router.out_port_by_tag
+            port = by_tag.get(("mesh", "E"), by_tag.get(("wrap", "E")))
+            if port is None:
+                port = by_tag.get(("mesh", "N"), by_tag.get(("mesh", "S")))
+            return [(port, 0, True)]
+
+        return ring_routing
+
+    monkeypatch.setattr("repro.sim.build.make_routing", ring_factory)
+    code = main(
+        [
+            "prove",
+            "--family",
+            "serial_torus",
+            "--mode",
+            "vct",
+            "--grid",
+            "2x1",
+            "--nodes",
+            "2x1",
+            "--no-fault-masks",
+            "--no-record",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "MC-DEADLOCK" in out
+    assert "NOT CERTIFIED" in out
+    assert "FAILED" in out
+
+
+def test_prove_requires_family_or_all():
+    with pytest.raises(SystemExit):
+        main(["prove"])
+
+
 def test_report_without_results_is_a_clean_error(tmp_path):
     with pytest.raises(SystemExit, match="no benchmark CSVs"):
         main(["report", "--results-dir", str(tmp_path / "missing")])

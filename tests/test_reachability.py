@@ -1,0 +1,158 @@
+"""Exhaustive reachability proofs and the single-link fault-mask sweep.
+
+Positive direction: every family's routing-state graph is dead-end free,
+escape covered and acyclic — both fault-free and under every single
+adaptive-link fault mask (the Sec 9 claim `repro prove` certifies).
+Negative direction: stranding, escape-free and cyclic routing functions
+must each produce their REACH-* finding.
+"""
+
+from repro.analysis import (
+    Report,
+    analyse_reachability,
+    reachability_pass,
+    sweep_fault_masks,
+    verify_network,
+)
+from repro.routing.fault import adaptive_link_indices
+from repro.sim.config import SimConfig
+from repro.topology.grid import ChipletGrid
+
+from .conftest import make_network
+
+
+def test_family_reachability_is_clean(family, small_grid):
+    _spec, network, _ = make_network(family, small_grid, SimConfig())
+    analysis = analyse_reachability(network)
+    assert analysis.ok, (analysis.dead_ends, analysis.uncovered, analysis.cycle)
+    assert analysis.n_states > 0
+    assert analysis.max_hops > 0
+
+
+def test_hop_bound_matches_livelock_pass(family, small_grid):
+    """Reachability and livelock explore the same state graph: the
+    delivery hop bound must agree with the livelock pass's bound."""
+    spec, network, _ = make_network(family, small_grid, SimConfig())
+    report = verify_network(spec, network)
+    analysis = analyse_reachability(network)
+    assert analysis.max_hops == report.metrics["max_hops_bound"]
+
+
+def test_fault_sweep_keeps_every_family_deliverable(family, small_grid):
+    config = SimConfig()
+
+    def factory():
+        return make_network(family, small_grid, config)[1]
+
+    spec = make_network(family, small_grid, config)[0]
+    sweep = sweep_fault_masks(factory, spec)
+    assert sweep.ok, f"fault masks broke reachability: links {sweep.broken}"
+    assert sweep.swept == len(adaptive_link_indices(factory(), spec))
+    assert len(sweep.analyses) == sweep.swept
+
+
+def test_fault_sweep_honours_explicit_link_list():
+    config = SimConfig()
+    grid = ChipletGrid(2, 2, 3, 3)
+
+    def factory():
+        return make_network("serial_torus", grid, config)[1]
+
+    spec = make_network("serial_torus", grid, config)[0]
+    all_links = adaptive_link_indices(factory(), spec)
+    assert all_links, "torus families must expose safe-to-fail wrap links"
+    sweep = sweep_fault_masks(factory, spec, links=all_links[:2])
+    assert sweep.links == all_links[:2]
+    assert sweep.swept == 2
+
+
+def test_stranding_routing_is_a_dead_end():
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), SimConfig()
+    )
+    network.set_routing(
+        lambda router, packet: [(0, 0, True)] if packet.dst == router.node else []
+    )
+    analysis = analyse_reachability(network)
+    assert analysis.dead_ends
+    report = Report(system=spec.name)
+    reachability_pass(network, report)
+    assert "REACH-DEADEND" in report.codes()
+    assert not report.ok
+
+
+def test_escape_free_routing_is_uncovered():
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), SimConfig()
+    )
+    base = network.routers[0].routing_fn
+
+    def adaptive_only(router, packet):
+        if packet.dst == router.node:
+            return [(0, 0, True)]
+        # Same minimal candidates, but none offered as escape.
+        return [(p, vc, False) for p, vc, _esc in base(router, packet)]
+
+    network.set_routing(adaptive_only)
+    analysis = analyse_reachability(network)
+    assert analysis.uncovered
+    report = Report(system=spec.name)
+    reachability_pass(network, report)
+    assert "REACH-UNCOVERED" in report.codes()
+
+
+def test_cyclic_routing_states_are_flagged():
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), SimConfig()
+    )
+    grid = spec.grid
+
+    def pingpong(router, packet):
+        if packet.dst == router.node:
+            return [(0, 0, True)]
+        by_tag = router.out_port_by_tag
+        x, _y = grid.coords(router.node)
+        direction = "E" if x % 2 == 0 else "W"
+        port = by_tag.get(("mesh", direction))
+        if port is None:
+            port = next(iter(by_tag.values()))
+        return [(port, 0, False)]
+
+    network.set_routing(pingpong)
+    analysis = analyse_reachability(network)
+    assert analysis.cycle
+    assert analysis.max_hops == -1  # unbounded: no delivery proof
+    report = Report(system=spec.name)
+    reachability_pass(network, report)
+    assert "REACH-CYCLE" in report.codes()
+
+
+def test_raising_routing_is_flagged():
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), SimConfig()
+    )
+
+    def raising(router, packet):
+        if packet.dst == router.node:
+            return [(0, 0, True)]
+        raise KeyError("no route table entry")
+
+    network.set_routing(raising)
+    analysis = analyse_reachability(network)
+    assert analysis.failures
+    report = Report(system=spec.name)
+    reachability_pass(network, report)
+    assert "REACH-RAISES" in report.codes()
+    assert not report.ok
+
+
+def test_fault_target_prefixes_findings():
+    spec, network, _ = make_network(
+        "parallel_mesh", ChipletGrid(2, 1, 2, 2), SimConfig()
+    )
+    network.set_routing(
+        lambda router, packet: [(0, 0, True)] if packet.dst == router.node else []
+    )
+    report = Report(system=spec.name)
+    reachability_pass(network, report, fault_target="fault link 9: ")
+    assert any(f.target.startswith("fault link 9: ") for f in report.errors)
