@@ -165,6 +165,13 @@ def _cmd_simulate(args) -> int:
         config = config.halved()
     spec = build_system(args.family, grid, config)
     telemetry = None
+    if args.profile:
+        print(
+            "note: `repro simulate --profile` is deprecated — use "
+            "`repro profile` for the phase table plus speedscope/flamegraph "
+            "artifacts",
+            file=sys.stderr,
+        )
     breakdown_wanted = args.latency_breakdown or args.breakdown_csv
     epoch_wanted = bool(
         args.metrics or args.trace or args.profile or args.progress
@@ -257,6 +264,83 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.telemetry import TelemetryConfig
+    from repro.telemetry.hostprof import (
+        HostprofError,
+        render_host_table,
+        write_speedscope,
+    )
+
+    chiplets = _parse_pair(args.chiplets, "--chiplets")
+    nodes = _parse_pair(args.nodes, "--nodes")
+    grid = ChipletGrid(chiplets[0], chiplets[1], nodes[0], nodes[1])
+    config = SimConfig().scaled(args.cycles)
+    if args.halved:
+        config = config.halved()
+    spec = build_system(args.family, grid, config)
+    # Pass 1 — host-time ledger, no cProfile: the profiler's tracing hooks
+    # would inflate the wall times the phase table reports.
+    ledger_config = TelemetryConfig(
+        host_time=True, host_stride=args.stride, epoch_metrics=False
+    )
+    try:
+        result = run_synthetic(
+            spec,
+            args.pattern,
+            args.rate,
+            policy=args.policy,
+            seed=args.seed,
+            telemetry=ledger_config,
+        )
+    except (RuntimeError, AssertionError) as exc:
+        return _report_failure(spec.name, exc)
+    ledger = result.telemetry.hostprof
+    try:
+        ledger.check_conservation()
+    except HostprofError as exc:
+        print(f"warning: {exc}", file=sys.stderr)
+    print(f"system   : {spec.name}")
+    print(f"workload : {result.workload} ({grid.n_nodes} nodes, {args.cycles} cycles)")
+    print(f"policy   : {result.policy}")
+    print(f"seed     : {args.seed}")
+    print(f"cycles/s : {result.cycles_per_second:,.0f}")
+    print()
+    summary = ledger.summary()
+    print(render_host_table(summary))
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    host_path = out_dir / "profile.host.json"
+    _write_json_doc(str(host_path), summary)
+    # Pass 2 — cProfile (same seed, so the same run), folded into the
+    # phase-rooted speedscope + collapsed-stack flamegraph artifacts.
+    profile_config = TelemetryConfig(
+        profile=True, profile_top=args.top, epoch_metrics=False
+    )
+    try:
+        profiled = run_synthetic(
+            spec,
+            args.pattern,
+            args.rate,
+            policy=args.policy,
+            seed=args.seed,
+            telemetry=profile_config,
+        )
+    except (RuntimeError, AssertionError) as exc:
+        return _report_failure(spec.name, exc)
+    report = profiled.telemetry.profile_report
+    doc = report.speedscope(name=f"{spec.name} {result.workload}")
+    ss_path = write_speedscope(doc, out_dir / "profile.speedscope.json")
+    print(f"wrote {ss_path}  (load at https://www.speedscope.app)")
+    folded_path = out_dir / "profile.folded.txt"
+    folded_path.write_text(report.collapsed(), encoding="utf-8")
+    print(f"wrote {folded_path}  (flamegraph.pl / inferno collapsed stacks)")
+    if args.pstats:
+        print()
+        print(report.text().rstrip())
+    return 0
+
+
 def _cmd_postmortem(args) -> int:
     from repro.telemetry.forensics import (
         load_bundle,
@@ -289,10 +373,53 @@ def _cmd_bench(args) -> int:
                 f"known: {', '.join(by_name)}"
             )
         cases = [by_name[name] for name in args.case]
-    doc = run_bench(scale=args.scale, reps=args.reps, seed=args.seed, cases=cases)
+    start = time.perf_counter()
+    doc = run_bench(
+        scale=args.scale,
+        reps=args.reps,
+        seed=args.seed,
+        cases=cases,
+        host_stride=args.host_stride,
+    )
+    elapsed = time.perf_counter() - start
     path = write_bench(doc, args.out_dir)
     print(render_bench(doc))
     print(f"wrote {path}")
+    if not args.no_record:
+        from repro.telemetry.runstore import (
+            RunRecord,
+            RunStore,
+            config_digest,
+            new_run_id,
+        )
+
+        # One registry record per suite run: the dashboard's "Host
+        # performance" panel charts cycles/sec + phase shares from these.
+        store = RunStore(args.runs_dir)
+        bench_summary = {
+            name: {
+                "cps_median": case["cps"]["median"],
+                "host": case.get("host"),
+            }
+            for name, case in doc["cases"].items()
+        }
+        record = RunRecord(
+            run_id=new_run_id(),
+            created=doc["created"],
+            kind="bench",
+            label=f"bench:{args.scale}",
+            scale=args.scale,
+            seed=args.seed,
+            config_hash=config_digest(
+                {"bench": sorted(doc["cases"]), "scale": args.scale, "seed": args.seed}
+            ),
+            git_rev=doc["git_rev"],
+            wall_seconds=elapsed,
+            artifacts={"bench": str(path)},
+            bench=bench_summary,
+        )
+        record_path = store.append(record)
+        print(f"recorded {record_path}#{record.run_id}")
     return 0
 
 
@@ -315,8 +442,13 @@ def _cmd_compare(args) -> int:
             verdicts, label_a=Path(args.a).name, label_b=Path(args.b).name
         )
     )
-    if args.strict and regressions(verdicts):
-        return 1
+    if args.strict:
+        gated = regressions(verdicts, gate=args.gate)
+        if gated:
+            if args.gate:
+                names = ", ".join(sorted({f"{v.case}:{v.metric}" for v in gated}))
+                print(f"gated regression(s): {names}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -597,7 +729,8 @@ def main(argv: list[str] | None = None) -> int:
     sim_p.add_argument(
         "--profile",
         action="store_true",
-        help="profile the run with cProfile and print the hottest functions",
+        help="deprecated: profile with cProfile and print the hottest "
+        "functions (use `repro profile` instead)",
     )
     sim_p.add_argument(
         "--progress",
@@ -667,6 +800,62 @@ def main(argv: list[str] | None = None) -> int:
     add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="attribute host wall time to engine phases and emit "
+        "speedscope + flamegraph artifacts",
+    )
+    prof_p.add_argument("--family", choices=FAMILIES, default="hetero_phy_torus")
+    prof_p.add_argument(
+        "--chiplets", default="2x2", help="chiplet grid, e.g. 2x2 (fig11 seed)"
+    )
+    prof_p.add_argument("--nodes", default="4x4", help="per-chiplet mesh, e.g. 4x4")
+    prof_p.add_argument("--pattern", default="uniform")
+    prof_p.add_argument("--rate", type=float, default=0.15, help="flits/cycle/node")
+    prof_p.add_argument("--cycles", type=int, default=6_000)
+    prof_p.add_argument(
+        "--policy",
+        choices=(
+            "performance",
+            "balanced",
+            "energy_efficient",
+            "application_aware",
+            "passive_aware",
+        ),
+        default=None,
+    )
+    prof_p.add_argument(
+        "--halved", action="store_true", help="pin-constrained halved interfaces"
+    )
+    prof_p.add_argument(
+        "--seed", type=int, default=1, help="workload RNG seed (default: 1)"
+    )
+    prof_p.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        metavar="N",
+        help="time every Nth cycle and extrapolate (default: 1 — every cycle)",
+    )
+    prof_p.add_argument(
+        "--out-dir",
+        default="profile-out",
+        help="where profile.host.json / profile.speedscope.json / "
+        "profile.folded.txt go (default: profile-out/)",
+    )
+    prof_p.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="hottest-function count for --pstats (default: 25)",
+    )
+    prof_p.add_argument(
+        "--pstats",
+        action="store_true",
+        help="also print the classic pstats table (cumulative-time sorted)",
+    )
+    prof_p.set_defaults(func=_cmd_profile)
+
     pm_p = sub.add_parser(
         "postmortem",
         help="render a forensics bundle captured from a wedged run",
@@ -709,6 +898,15 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "--out-dir", default=".", help="where BENCH_<n>.json goes (default: .)"
     )
+    bench_p.add_argument(
+        "--host-stride",
+        type=int,
+        default=4,
+        metavar="N",
+        help="host-time ledger sampling stride on the attribution "
+        "repetition (default: 4)",
+    )
+    add_record_args(bench_p)
     bench_p.set_defaults(func=_cmd_bench)
 
     cmp_p = sub.add_parser(
@@ -721,6 +919,15 @@ def main(argv: list[str] | None = None) -> int:
         "--strict",
         action="store_true",
         help="exit non-zero when any metric regressed (default: warn only)",
+    )
+    cmp_p.add_argument(
+        "--gate",
+        action="append",
+        default=None,
+        metavar="METRIC",
+        help="with --strict, only exit non-zero when one of these metrics "
+        "regressed (exact name or dotted prefix, repeatable; e.g. "
+        "cycles_per_second, events, host.sa_st)",
     )
     cmp_p.add_argument(
         "--rel-floor",

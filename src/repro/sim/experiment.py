@@ -68,6 +68,13 @@ class RunResult:
         return self.telemetry.ledger.summary()
 
     @property
+    def host_phases(self) -> Optional[dict]:
+        """Compact host-time attribution (None unless ``host_time`` ran)."""
+        if self.telemetry is None or self.telemetry.hostprof is None:
+            return None
+        return self.telemetry.hostprof.record_summary()
+
+    @property
     def cycles_per_second(self) -> float:
         """Simulation throughput in simulated cycles per wall-clock second."""
         if math.isnan(self.wall_seconds) or self.wall_seconds <= 0:
@@ -133,11 +140,12 @@ def run_synthetic(
             network, telemetry, warmup=warmup, total_cycles=cycles
         )
         engine.forensics = session.forensics
+        engine.hostprof = session.hostprof
     start = time.perf_counter()
     if session is not None and telemetry is not None and telemetry.profile:
-        _, session.profile_text = engine.run_profiled(
-            cycles, top=telemetry.profile_top
-        )
+        _, report = engine.run_profiled(cycles, top=telemetry.profile_top)
+        session.profile_report = report
+        session.profile_text = report.text()
     else:
         engine.run(cycles)
     wall_seconds = time.perf_counter() - start
@@ -188,12 +196,15 @@ def run_trace(
             network, telemetry, warmup=warmup, total_cycles=None
         )
         engine.forensics = session.forensics
+        engine.hostprof = session.hostprof
     start = time.perf_counter()
     try:
         if session is not None and telemetry is not None and telemetry.profile:
-            _, session.profile_text = engine.run_profiled(
+            _, report = engine.run_profiled(
                 deadline, drain=True, top=telemetry.profile_top
             )
+            session.profile_report = report
+            session.profile_text = report.text()
         else:
             engine.run_until_drained(deadline)
     except RuntimeError:

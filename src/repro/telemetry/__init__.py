@@ -19,6 +19,9 @@
 * :class:`TelemetryConfig` / :class:`TelemetrySession` — one-call
   attachment used by ``run_synthetic`` / ``run_trace`` and the
   ``repro simulate`` CLI (``repro.telemetry.session``);
+* :class:`HostTimeLedger` — host wall-time attribution across engine /
+  router / link / PHY phases plus cProfile→speedscope folding, driven by
+  ``repro profile`` (``repro.telemetry.hostprof``);
 * :class:`RunStore` / :class:`RunRecord` — the append-only cross-run
   registry under ``runs/`` (``repro.telemetry.runstore``);
 * :mod:`repro.telemetry.bench` / :mod:`repro.telemetry.compare` /
@@ -56,6 +59,13 @@ from .forensics import (
     validate_bundle,
     write_bundle,
 )
+from .hostprof import (
+    PHASES as HOST_PHASES,  # package-level alias: avoids clashing with attribution.STAGES
+    HostprofError,
+    HostTimeLedger,
+    render_host_table,
+    validate_speedscope,
+)
 from .metrics import EpochMetrics, EpochSample
 from .progress import ProgressReporter
 from .runstore import (
@@ -78,6 +88,9 @@ __all__ = [
     "ForensicsSession",
     "HealthMonitor",
     "HealthThresholds",
+    "HOST_PHASES",
+    "HostTimeLedger",
+    "HostprofError",
     "LatencyLedger",
     "NULL_BUS",
     "RUN_SCHEMA_VERSION",
@@ -103,7 +116,9 @@ __all__ = [
     "record_from_result",
     "render_bundle_html",
     "render_bundle_text",
+    "render_host_table",
     "run_bench",
     "validate_bundle",
+    "validate_speedscope",
     "write_bundle",
 ]

@@ -111,7 +111,7 @@ def _median_iqr(samples: Sequence[float]) -> tuple[float, float]:
 
 
 def _run_case(
-    case: BenchCase, scale: str, reps: int, seed: int
+    case: BenchCase, scale: str, reps: int, seed: int, host_stride: int
 ) -> dict[str, Any]:
     from repro.sim.build import build_network
     from repro.sim.config import SimConfig
@@ -122,6 +122,8 @@ def _run_case(
     from repro.topology.system import build_system
     from repro.traffic.injection import SyntheticWorkload
     from repro.traffic.patterns import make_pattern
+
+    from .session import TelemetryConfig
 
     cycles, warmup = _HORIZONS[scale]
     grid = ChipletGrid(case.chiplets[0], case.chiplets[1], case.nodes[0], case.nodes[1])
@@ -155,6 +157,20 @@ def _run_case(
     Engine(network, workload, stats).run(cycles)
     counters.detach()
 
+    # One more untimed repetition with the host-time ledger attached: the
+    # per-phase wall-time shares that tell `repro compare` *which* pipeline
+    # stage a cycles/sec regression lives in (strided to keep it cheap).
+    host_result = run_synthetic(
+        spec,
+        case.pattern,
+        case.rate,
+        seed=seed,
+        telemetry=TelemetryConfig(
+            host_time=True, host_stride=host_stride, epoch_metrics=False
+        ),
+    )
+    host = host_result.telemetry.hostprof.record_summary()
+
     wall_median, wall_iqr = _median_iqr(walls)
     cps_median, cps_iqr = _median_iqr(cps)
     return {
@@ -170,6 +186,7 @@ def _run_case(
         "wall_s": {"median": wall_median, "iqr": wall_iqr, "samples": walls},
         "cps": {"median": cps_median, "iqr": cps_iqr, "samples": cps},
         "events": counters.nonzero(),
+        "host": host,
         "stats": {
             "avg_latency": result.avg_latency,
             "packets_delivered": result.stats.packets_delivered,
@@ -185,12 +202,21 @@ def run_bench(
     seed: int = 1,
     cases: Optional[Sequence[BenchCase]] = None,
     git_rev: Optional[str] = None,
+    host_stride: int = 4,
 ) -> dict[str, Any]:
-    """Execute the suite and return the (not yet written) bench document."""
+    """Execute the suite and return the (not yet written) bench document.
+
+    ``host_stride`` controls the host-time ledger's sampling stride on
+    the extra attribution repetition (see
+    :class:`~repro.telemetry.hostprof.HostTimeLedger`); the timed
+    repetitions always run unledgered.
+    """
     if scale not in _HORIZONS:
         raise ValueError(f"scale must be one of {tuple(_HORIZONS)}, got {scale!r}")
     if reps < 1:
         raise ValueError("reps must be >= 1")
+    if host_stride < 1:
+        raise ValueError("host_stride must be >= 1")
     from .runstore import utc_now_iso
 
     suite = tuple(cases) if cases is not None else CASES
@@ -202,7 +228,10 @@ def run_bench(
         "scale": scale,
         "reps": reps,
         "seed": seed,
-        "cases": {case.name: _run_case(case, scale, reps, seed) for case in suite},
+        "cases": {
+            case.name: _run_case(case, scale, reps, seed, host_stride)
+            for case in suite
+        },
     }
 
 
@@ -258,13 +287,25 @@ def render_bench(doc: dict[str, Any]) -> str:
         f"(scale={doc.get('scale')}, reps={doc.get('reps')}, "
         f"created {doc.get('created', '?')})",
         f"{'case':>24s} {'cyc/s med':>12s} {'cyc/s IQR':>12s} "
-        f"{'wall med':>10s} {'avg_lat':>8s}",
+        f"{'wall med':>10s} {'avg_lat':>8s}  {'top host phase':<16s}",
     ]
     for name, case in doc.get("cases", {}).items():
         cps = case["cps"]
+        top_phase = ""
+        shares = (case.get("host") or {}).get("shares") or {}
+        ranked = sorted(
+            (
+                (phase, share)
+                for phase, share in shares.items()
+                if isinstance(share, (int, float)) and share == share
+            ),
+            key=lambda item: -item[1],
+        )
+        if ranked:
+            top_phase = f"{ranked[0][0]} {ranked[0][1]:.0%}"
         lines.append(
             f"{name:>24s} {cps['median']:>12,.0f} {cps['iqr']:>12,.0f} "
             f"{case['wall_s']['median']:>9.3f}s "
-            f"{case['stats']['avg_latency']:>8.1f}"
+            f"{case['stats']['avg_latency']:>8.1f}  {top_phase:<16s}"
         )
     return "\n".join(lines)

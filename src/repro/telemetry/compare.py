@@ -21,7 +21,7 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from .bench import load_bench
 from .runstore import RunRecord, RunStore, RunStoreError
@@ -30,6 +30,14 @@ from .runstore import RunRecord, RunStore, RunStoreError
 DEFAULT_REL_FLOOR = 0.05
 #: Default IQR multiplier of the noise threshold.
 DEFAULT_IQR_K = 1.5
+#: Relative floor for per-phase host-time metrics.  A single strided
+#: attribution repetition backs them (no IQR), and small phases jitter
+#: hard, so only large per-phase movements are signal.
+HOST_REL_FLOOR = 0.25
+#: Host phases whose ns/cycle is below this fraction of the total are
+#: skipped by :func:`compare_bench` — a 0.5% phase tripling is noise in
+#: absolute terms but would read as a 200% regression.
+HOST_MIN_SHARE = 0.02
 
 
 @dataclass
@@ -150,6 +158,47 @@ def compare_bench(
                     k=k,
                 )
             )
+        verdicts.extend(_compare_host(name, ca.get("host"), cb.get("host")))
+    return verdicts
+
+
+def _compare_host(
+    case: str, ha: Optional[dict], hb: Optional[dict]
+) -> list[MetricVerdict]:
+    """Per-phase ns/cycle verdicts between two ``host`` blocks.
+
+    Older bench files (pre host-time ledger) carry no ``host`` block —
+    every phase then reads ``n/a`` rather than failing the compare.
+    Lower ns/cycle is better; the wide :data:`HOST_REL_FLOOR` and the
+    :data:`HOST_MIN_SHARE` cut keep single-repetition jitter out of the
+    verdict column so a named phase only flags on a real slowdown.
+    """
+    npc_a = (ha or {}).get("ns_per_cycle") or {}
+    npc_b = (hb or {}).get("ns_per_cycle") or {}
+
+    def total(npc: dict) -> float:
+        return sum(v for v in npc.values() if isinstance(v, (int, float)) and v == v)
+
+    total_a, total_b = total(npc_a), total(npc_b)
+    verdicts = []
+    for phase in sorted(set(npc_a) | set(npc_b)):
+        a = float(npc_a.get(phase, math.nan))
+        b = float(npc_b.get(phase, math.nan))
+        share_a = a / total_a if total_a and a == a else 0.0
+        share_b = b / total_b if total_b and b == b else 0.0
+        if max(share_a, share_b) < HOST_MIN_SHARE:
+            continue
+        verdicts.append(
+            classify(
+                case,
+                f"host.{phase}",
+                a,
+                b,
+                higher_is_better=False,
+                iqr=0.0,
+                rel_floor=HOST_REL_FLOOR,
+            )
+        )
     return verdicts
 
 
@@ -239,8 +288,25 @@ def compare_paths(
     return compare_records(a, b, rel_floor=rel_floor, k=k)
 
 
-def regressions(verdicts: list[MetricVerdict]) -> list[MetricVerdict]:
-    return [v for v in verdicts if v.verdict == "regressed"]
+def regressions(
+    verdicts: list[MetricVerdict],
+    *,
+    gate: Optional[Sequence[str]] = None,
+) -> list[MetricVerdict]:
+    """Regressed verdicts, optionally filtered to gated metric names.
+
+    ``gate`` entries match a metric exactly or as a dotted prefix
+    (``"events"`` gates every ``events.*`` metric).  ``None`` / empty
+    gates everything — the pre-``--gate`` behaviour.
+    """
+    flagged = [v for v in verdicts if v.verdict == "regressed"]
+    if not gate:
+        return flagged
+    return [
+        v
+        for v in flagged
+        if any(v.metric == g or v.metric.startswith(g + ".") for g in gate)
+    ]
 
 
 def _fmt(value: float) -> str:

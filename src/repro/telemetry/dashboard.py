@@ -190,7 +190,15 @@ def _bench_section(bench_dirs: list[Path]) -> str:
             if case:
                 xs.append(float(index))
                 ys.append(case["cps"]["median"])
-        series.append((name, xs, ys))
+        if xs:
+            series.append((name, xs, ys))
+    if not series:
+        # Bench files that parse but carry no cases would otherwise feed
+        # the chart an all-empty series list and render a blank axis box.
+        return (
+            '<p class="empty">no bench history yet — '
+            "run <code>repro bench</code> first.</p>"
+        )
     chart = svg_line_chart(
         series,
         title="simulator throughput across stored bench files",
@@ -220,6 +228,98 @@ def _bench_section(bench_dirs: list[Path]) -> str:
         f"<tbody>{''.join(rows)}</tbody></table>"
     )
     return f"<figure>{chart}</figure>{table}"
+
+
+def _hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
+    """Host-performance panel from the registry's ``kind="bench"`` records.
+
+    Charts simulated cycles/second across bench history plus the latest
+    run's per-phase host-time shares (``HostTimeLedger`` attribution), so
+    a throughput drop and the pipeline phase that caused it sit side by
+    side.
+    """
+    from repro.viz import svg_line_chart, svg_stacked_bars
+
+    from .hostprof import PHASES, RESIDUAL_PHASE
+
+    store = RunStore(runs_dir)
+    records = [
+        record
+        for record in store.load(strict=False)
+        if record.kind == "bench" and record.bench
+    ][-max_records:]
+    if not records:
+        return (
+            '<p class="empty">no bench history yet — '
+            "<code>repro bench</code> appends a bench record (cycles/sec "
+            "and per-phase host-time shares) to the run registry.</p>"
+        )
+    case_names: list[str] = []
+    for record in records:
+        for name in record.bench:
+            if name not in case_names:
+                case_names.append(name)
+    series = []
+    for name in case_names:
+        xs, ys = [], []
+        for index, record in enumerate(records):
+            case = record.bench.get(name) or {}
+            cps = case.get("cps_median")
+            if isinstance(cps, (int, float)) and cps == cps:
+                xs.append(float(index))
+                ys.append(float(cps))
+        if xs:
+            series.append((name, xs, ys))
+    if not series:
+        return (
+            '<p class="empty">no bench history yet — the registry\'s bench '
+            "records carry no cycles/sec samples.</p>"
+        )
+    chart = svg_line_chart(
+        series,
+        title="simulator throughput across registered bench runs",
+        x_label="bench record (registry order)",
+        y_label="cycles / second (median)",
+        y_zero=True,
+    )
+    latest = records[-1]
+
+    def shares_of(case: Optional[dict]) -> dict[str, float]:
+        shares = ((case or {}).get("host") or {}).get("shares") or {}
+        return {
+            phase: float(value)
+            for phase, value in shares.items()
+            if isinstance(value, (int, float)) and value == value
+        }
+
+    segments = [
+        phase
+        for phase in (*PHASES, RESIDUAL_PHASE)
+        if any(shares_of(case).get(phase) for case in latest.bench.values())
+    ]
+    if segments:
+        bars = [
+            (name, [shares_of(case).get(phase, 0.0) * 100 for phase in segments])
+            for name, case in latest.bench.items()
+        ]
+        phase_chart = svg_stacked_bars(
+            bars,
+            segments,
+            title="host wall-time share by pipeline phase (latest bench)",
+            x_label="% of timed loop",
+        )
+        phase_figure = f"<figure>{phase_chart}</figure>"
+    else:
+        phase_figure = (
+            '<p class="empty">the latest bench record carries no host-time '
+            "attribution — re-run <code>repro bench</code> on this build.</p>"
+        )
+    meta = (
+        f'<p class="meta">latest: {html.escape(latest.created)} @ '
+        f"{html.escape(latest.git_rev)} ({html.escape(latest.label)}, "
+        f"seed={html.escape(str(latest.seed))})</p>"
+    )
+    return f"<figure>{chart}</figure>{phase_figure}{meta}"
 
 
 def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
@@ -440,6 +540,8 @@ def build_dashboard(
         _agreement_section(results_dir, scale),
         "<h2>Performance trajectory</h2>",
         _bench_section(dirs),
+        "<h2>Host performance</h2>",
+        _hostperf_section(Path(runs_dir)),
         "<h2>Latency attribution</h2>",
         _breakdown_section(Path(runs_dir)),
         "<h2>Run health</h2>",

@@ -123,6 +123,11 @@ class RunRecord:
     #: health flags, recorder stats, bundle path; empty unless the run
     #: attached forensics).  Defaulted for the same schema-v1 reason.
     forensics: dict[str, Any] = field(default_factory=dict)
+    #: Per-case bench summary for ``kind="bench"`` records: case name →
+    #: ``{"cps_median": ..., "host": HostTimeLedger.record_summary()}``.
+    #: The dashboard's "Host performance" panel charts these across
+    #: registry history.  Defaulted for the same schema-v1 reason.
+    bench: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

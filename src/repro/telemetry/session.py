@@ -17,6 +17,7 @@ from typing import IO, TYPE_CHECKING, Callable, Optional
 
 from .attribution import LatencyLedger
 from .forensics import ForensicsConfig, ForensicsSession, HealthThresholds
+from .hostprof import HostTimeLedger
 from .metrics import EpochMetrics
 from .progress import ProgressReporter
 from .trace import ChromeTraceBuilder
@@ -24,6 +25,7 @@ from .trace import ChromeTraceBuilder
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.flit import Packet
     from repro.noc.network import Network
+    from repro.sim.engine import ProfileReport
 
 
 @dataclass
@@ -50,10 +52,18 @@ class TelemetryConfig:
     progress_every: int = 5_000
     #: Progress destination (default: stderr).
     progress_stream: Optional[IO[str]] = None
-    #: Profile the run with cProfile and keep the report text.
+    #: Profile the run with cProfile and keep the report
+    #: (``RunResult.telemetry.profile_report``; ``repro profile`` is the
+    #: CLI front end that folds it into speedscope / flamegraph output).
     profile: bool = False
     #: Number of hottest functions in the profile report.
     profile_top: int = 25
+    #: Attach the host wall-time ledger
+    #: (:class:`~repro.telemetry.hostprof.HostTimeLedger`): attribute
+    #: engine wall time to named phases at <5% overhead when strided.
+    host_time: bool = False
+    #: Time every Nth cycle and extrapolate (1: time every cycle).
+    host_stride: int = 1
     #: Attach the per-packet latency-attribution ledger
     #: (:class:`~repro.telemetry.attribution.LatencyLedger`).
     latency_breakdown: bool = False
@@ -98,7 +108,14 @@ class TelemetrySession:
     progress: Optional[ProgressReporter] = None
     ledger: Optional[LatencyLedger] = None
     forensics: Optional[ForensicsSession] = None
-    #: cProfile report text (set by the harness when profiling was requested).
+    #: Host wall-time ledger (set when ``host_time`` was requested; the
+    #: harness installs it as ``engine.hostprof``).
+    hostprof: Optional[HostTimeLedger] = None
+    #: cProfile capture (set by the harness when profiling was requested).
+    profile_report: Optional["ProfileReport"] = None
+    #: Deprecated: rendered pstats text of ``profile_report``.  Kept for
+    #: callers of the old ``--profile`` dump; prefer ``profile_report``
+    #: and the ``repro profile`` speedscope artifact.
     profile_text: Optional[str] = None
     #: Files written by :meth:`finalize`.
     written: list[Path] = field(default_factory=list)
@@ -134,6 +151,8 @@ class TelemetrySession:
             )
         if config.latency_breakdown or config.breakdown_csv is not None:
             session.ledger = LatencyLedger(network, measure_from=warmup)
+        if config.host_time:
+            session.hostprof = HostTimeLedger(stride=config.host_stride)
         if config.forensics or config.flight_recorder or config.health:
             forensics_config = ForensicsConfig(
                 bundle_dir=config.bundle_dir,

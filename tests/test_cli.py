@@ -422,6 +422,8 @@ def test_bench_cli_writes_bench_file(tmp_path, capsys):
             "fig14_hetero_channel",
             "--out-dir",
             str(tmp_path),
+            "--runs-dir",
+            str(tmp_path / "runs"),
         ]
     )
     assert code == 0
@@ -432,6 +434,17 @@ def test_bench_cli_writes_bench_file(tmp_path, capsys):
     doc = json.loads(path.read_text())
     assert doc["schema_version"] == 1
     assert list(doc["cases"]) == ["fig14_hetero_channel"]
+    # The per-phase host-time block rides along for `repro compare`.
+    host = doc["cases"]["fig14_hetero_channel"]["host"]
+    assert 0.95 <= host["conservation"] <= 1.05
+    # One kind="bench" registry record feeds the dashboard's
+    # "Host performance" panel.
+    from repro.telemetry.runstore import RunStore
+
+    records = RunStore(tmp_path / "runs").load()
+    assert len(records) == 1 and records[0].kind == "bench"
+    assert "fig14_hetero_channel" in records[0].bench
+    assert f"recorded {tmp_path / 'runs' / 'runs.jsonl'}" in out
 
 
 def test_bench_cli_rejects_unknown_case(tmp_path):
@@ -468,6 +481,58 @@ def test_compare_cli_strict_exits_nonzero_on_regression(tmp_path, capsys):
 def test_compare_cli_missing_file_is_a_clean_error(tmp_path):
     with pytest.raises(SystemExit, match="no such file"):
         main(["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+
+
+def test_compare_cli_gate_filters_strict_exit(tmp_path, capsys):
+    # Regression is in wall_seconds/cycles_per_second; a gate on an
+    # unrelated metric keeps --strict green, a matching gate trips it.
+    a, b = _write_bench_pair(tmp_path, 5_000.0, 3_000.0)
+    assert main(["compare", str(a), str(b), "--strict", "--gate", "events"]) == 0
+    capsys.readouterr()
+    code = main(
+        ["compare", str(a), str(b), "--strict", "--gate", "cycles_per_second"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "gated regression(s)" in err
+    assert "cycles_per_second" in err
+
+
+def test_profile_cli_writes_artifacts(tmp_path, capsys):
+    from repro.telemetry.hostprof import load_speedscope, validate_speedscope
+
+    out_dir = tmp_path / "prof"
+    code = main(
+        [
+            "profile",
+            "--family",
+            "hetero_phy_torus",
+            "--chiplets",
+            "2x2",
+            "--nodes",
+            "3x3",
+            "--cycles",
+            "1200",
+            "--rate",
+            "0.1",
+            "--seed",
+            "3",
+            "--stride",
+            "2",
+            "--out-dir",
+            str(out_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "conservation" in out
+    host = json.loads((out_dir / "profile.host.json").read_text())
+    assert host["stride"] == 2
+    assert 0.95 <= host["conservation"] <= 1.05
+    doc = load_speedscope(out_dir / "profile.speedscope.json")
+    validate_speedscope(doc)
+    folded = (out_dir / "profile.folded.txt").read_text()
+    assert folded.splitlines() and folded.startswith("engine;")
 
 
 def test_dashboard_cli(tmp_path, capsys):

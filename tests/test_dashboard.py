@@ -91,6 +91,53 @@ def make_breakdown(**stage_means) -> dict:
     }
 
 
+def make_host_summary(sa_st=0.6, link=0.3, rc_va=0.1):
+    """A minimal ``HostTimeLedger.record_summary``-shaped payload."""
+    shares = {"sa_st": sa_st, "link": link, "rc_va": rc_va}
+    return {
+        "stride": 4,
+        "timed_cycles": 500,
+        "total_cycles": 2_000,
+        "conservation": 1.0,
+        "ns_per_cycle": {name: share * 10_000 for name, share in shares.items()},
+        "shares": shares,
+    }
+
+
+def test_dashboard_hostperf_section(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    store = RunStore(runs)
+    store.append(make_record(label="plain"))  # not a bench record: skipped
+    for cps in (4_000.0, 4_400.0):
+        store.append(make_record(
+            kind="bench",
+            label="bench:tiny",
+            bench={"fig11_hetero_phy": {
+                "cps_median": cps, "host": make_host_summary(),
+            }},
+        ))
+
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "Host performance" in page
+    # fig11 curves + throughput trajectory + phase-share bars
+    assert page.count("<svg") == 3
+    assert "host wall-time share by pipeline phase" in page
+    assert "sa_st" in page and "rc_va" in page
+    assert "no bench history yet" not in page
+
+
+def test_dashboard_hostperf_empty_state(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    RunStore(runs).append(make_record(label="plain"))
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "no bench history yet" in page
+    assert "repro bench" in page
+
+
 def test_dashboard_breakdown_section(tmp_path):
     results = tmp_path / "results"
     write_fig11_csv(results)

@@ -462,4 +462,10 @@ def test_engine_run_profiled_reports():
     result, report = engine.run_profiled(50)
     assert result is stats
     assert stats.packets_delivered == 1
-    assert "function calls" in report
+    assert "function calls" in report.text()
+    # The capture folds into phase-rooted stacks and a valid speedscope doc.
+    folded = report.folded()
+    assert folded and all(stack[0] == "engine" for stack, _ in folded)
+    from repro.telemetry.hostprof import validate_speedscope
+
+    validate_speedscope(report.speedscope(name="unit"))
