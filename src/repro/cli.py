@@ -15,6 +15,8 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
     repro compare BENCH_0.json BENCH_1.json --strict
     repro dashboard --out dashboard.html
+    repro simulate --live              # stream a live feed while running
+    repro watch --port 8631            # live fleet dashboard over runs/
     repro postmortem forensics/BUNDLE_deadlock_557.json --html report.html
 
 Output is the plain-text table of the experiment (add ``--csv`` for CSV).
@@ -175,14 +177,23 @@ def _cmd_simulate(args) -> int:
     breakdown_wanted = args.latency_breakdown or args.breakdown_csv
     epoch_wanted = bool(
         args.metrics or args.trace or args.profile or args.progress
-        or breakdown_wanted
+        or breakdown_wanted or args.live
     )
     forensics_wanted = (
         not args.no_forensics or args.flight_recorder or args.health
     )
+    if args.live and args.live_every < 1:
+        raise SystemExit("--live-every must be >= 1")
+    run_id = None
     if epoch_wanted or forensics_wanted:
         from repro.telemetry import TelemetryConfig
 
+        if args.live:
+            # Allocate the registry run id up front so the live feed and
+            # the run record join on one id in the fleet view.
+            from repro.telemetry.runstore import new_run_id
+
+            run_id = new_run_id()
         telemetry = TelemetryConfig(
             metrics_dir=args.metrics,
             trace_path=args.trace,
@@ -203,6 +214,10 @@ def _cmd_simulate(args) -> int:
             health=args.health,
             health_every=args.health_every,
             health_stream=sys.stderr if args.health else None,
+            live=args.live,
+            live_dir=Path(args.runs_dir) / "live",
+            live_every=args.live_every,
+            run_id=run_id,
         )
     try:
         result = run_synthetic(
@@ -239,6 +254,8 @@ def _cmd_simulate(args) -> int:
         artifacts["trace"] = str(args.trace)
     if args.breakdown_csv:
         artifacts["breakdown_csv"] = str(args.breakdown_csv)
+    if result.telemetry is not None and result.telemetry.live is not None:
+        artifacts["live"] = str(result.telemetry.live.path)
     if result.telemetry is not None:
         for path in result.telemetry.written:
             print(f"wrote {path}")
@@ -248,7 +265,11 @@ def _cmd_simulate(args) -> int:
 
         store = RunStore(args.runs_dir)
         record = record_from_result(
-            result, kind="simulate", label=args.family, artifacts=artifacts
+            result,
+            kind="simulate",
+            label=args.family,
+            artifacts=artifacts,
+            run_id=run_id,
         )
         record_path = store.append(record)
         artifacts["record"] = f"{record_path}#{record.run_id}"
@@ -466,6 +487,42 @@ def _cmd_dashboard(args) -> int:
     except DashboardError as exc:
         raise SystemExit(str(exc)) from None
     print(f"wrote {path}")
+    from repro.telemetry.runstore import RunStore
+
+    store = RunStore(args.runs_dir)
+    store.load(strict=False)
+    if store.skipped:
+        noun = "line" if store.skipped == 1 else "lines"
+        print(
+            f"warning: skipped {store.skipped} unreadable registry {noun} "
+            f"in {store.path}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.telemetry.server import WatchService, serve
+
+    if args.once:
+        service = WatchService(args.runs_dir, top_runs=args.top)
+        state = service.fleet_state()
+        print(json.dumps(state, indent=1, sort_keys=True))
+        if state["skipped"]:
+            noun = "line" if state["skipped"] == 1 else "lines"
+            print(
+                f"warning: skipped {state['skipped']} unreadable registry "
+                f"{noun} in {Path(args.runs_dir) / 'runs.jsonl'}",
+                file=sys.stderr,
+            )
+        return 0
+    serve(
+        args.runs_dir,
+        host=args.host,
+        port=args.port,
+        poll_seconds=args.poll,
+        top_runs=args.top,
+    )
     return 0
 
 
@@ -797,6 +854,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="CYCLES",
         help="health-probe period in cycles (default: 2000)",
     )
+    sim_p.add_argument(
+        "--live",
+        action="store_true",
+        help="stream run lifecycle / progress / epoch / health events to "
+        "<runs-dir>/live/<run_id>.jsonl while the run is in flight — "
+        "watch it with `repro watch`",
+    )
+    sim_p.add_argument(
+        "--live-every",
+        type=int,
+        default=1_000,
+        metavar="CYCLES",
+        help="live-feed heartbeat period in cycles (default: 1000)",
+    )
     add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)
 
@@ -960,6 +1031,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     dash_p.add_argument("--runs-dir", default="runs")
     dash_p.set_defaults(func=_cmd_dashboard)
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="serve the live fleet dashboard (in-flight --live runs, "
+        "failures with postmortems, bench trajectory, run registry)",
+    )
+    watch_p.add_argument(
+        "--port",
+        type=int,
+        default=8631,
+        help="listen port (default: 8631; 0 picks a free port)",
+    )
+    watch_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    watch_p.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="run-registry directory to observe (default: runs/)",
+    )
+    watch_p.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="change-detection interval for the auto-updating pages "
+        "(default: 1.0)",
+    )
+    watch_p.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows in the recent-runs table (default: 20)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="print the fleet state as JSON and exit instead of serving "
+        "(scriptable snapshot; also the CI smoke hook)",
+    )
+    watch_p.set_defaults(func=_cmd_watch)
 
     check_p = sub.add_parser(
         "check",

@@ -101,6 +101,13 @@ class Engine:
         #: wall time to named phases; when ``None`` the plain tick runs
         #: and the engine behaves identically (passive observer).
         self.hostprof = None
+        #: Optional live feed (duck-typed
+        #: :class:`repro.telemetry.live.LiveFeed`).  When set, a failure
+        #: escaping :meth:`run` / :meth:`run_until_drained` lands in the
+        #: feed as a terminal ``failure`` event — with the postmortem
+        #: bundle path when forensics captured one — so ``repro watch``
+        #: surfaces the death without waiting for the registry.
+        self.livefeed = None
 
     def run(self, cycles: int) -> Stats:
         """Advance the simulation by ``cycles`` cycles."""
@@ -155,9 +162,6 @@ class Engine:
         without importing :mod:`repro.analysis` (which would create an
         import cycle through the topology builders).
         """
-        session = self.forensics
-        if session is None:
-            return
         if isinstance(exc, DrainTimeoutError):
             reason = "drain-timeout"
         elif isinstance(exc, DeadlockError):
@@ -166,15 +170,29 @@ class Engine:
             reason = "invariant-violation"
         else:
             reason = "runtime-error"
-        try:
-            path = session.capture_to_file(reason, self.cycle, error=exc)
-        except Exception:  # noqa: BLE001 - forensics must not mask the failure
-            return
-        if getattr(exc, "bundle_path", None) is None:
+        path = None
+        session = self.forensics
+        if session is not None:
             try:
-                exc.bundle_path = str(path)
-            except AttributeError:
-                pass  # exception type refuses new attributes
+                path = session.capture_to_file(reason, self.cycle, error=exc)
+            except Exception:  # noqa: BLE001 - forensics must not mask the failure
+                path = None
+            if path is not None and getattr(exc, "bundle_path", None) is None:
+                try:
+                    exc.bundle_path = str(path)
+                except AttributeError:
+                    pass  # exception type refuses new attributes
+        feed = self.livefeed
+        if feed is not None:
+            try:
+                feed.fail(
+                    reason,
+                    self.cycle,
+                    error=f"{type(exc).__name__}: {exc}",
+                    bundle=str(path) if path is not None else None,
+                )
+            except Exception:  # noqa: BLE001 - telemetry must not mask the failure
+                pass
 
     def run_profiled(
         self,

@@ -134,6 +134,8 @@ def run_synthetic(
         seed=seed,
     )
     engine = Engine(network, workload, stats)
+    workload_name = f"{pattern}@{rate:g}"
+    resolved_policy = policy or config.scheduling_policy
     session: Optional[TelemetrySession] = None
     if telemetry is not None:
         session = TelemetrySession.attach(
@@ -141,6 +143,21 @@ def run_synthetic(
         )
         engine.forensics = session.forensics
         engine.hostprof = session.hostprof
+        engine.livefeed = session.live
+        if session.live is not None:
+            session.live.start(
+                {
+                    "system": spec.name,
+                    "workload": workload_name,
+                    "policy": resolved_policy,
+                    "n_nodes": spec.grid.n_nodes,
+                    "seed": seed,
+                    "warmup": warmup,
+                    "config_hash": system_digest(
+                        spec, workload=workload_name, policy=resolved_policy
+                    ),
+                }
+            )
     start = time.perf_counter()
     if session is not None and telemetry is not None and telemetry.profile:
         _, report = engine.run_profiled(cycles, top=telemetry.profile_top)
@@ -151,8 +168,6 @@ def run_synthetic(
     wall_seconds = time.perf_counter() - start
     if session is not None:
         session.finalize(engine.cycle)
-    workload_name = f"{pattern}@{rate:g}"
-    resolved_policy = policy or config.scheduling_policy
     return RunResult(
         system=spec.name,
         workload=workload_name,
@@ -190,6 +205,7 @@ def run_trace(
     workload = TraceWorkload(trace)
     engine = Engine(network, workload, stats)
     deadline = trace.duration + drain_margin
+    resolved_policy = policy or spec.config.scheduling_policy
     session: Optional[TelemetrySession] = None
     if telemetry is not None:
         session = TelemetrySession.attach(
@@ -197,6 +213,20 @@ def run_trace(
         )
         engine.forensics = session.forensics
         engine.hostprof = session.hostprof
+        engine.livefeed = session.live
+        if session.live is not None:
+            session.live.start(
+                {
+                    "system": spec.name,
+                    "workload": trace.name,
+                    "policy": resolved_policy,
+                    "n_nodes": spec.grid.n_nodes,
+                    "warmup": warmup,
+                    "config_hash": system_digest(
+                        spec, workload=trace.name, policy=resolved_policy
+                    ),
+                }
+            )
     start = time.perf_counter()
     try:
         if session is not None and telemetry is not None and telemetry.profile:
@@ -214,7 +244,6 @@ def run_trace(
         wall_seconds = time.perf_counter() - start
         if session is not None:
             session.finalize(engine.cycle)
-    resolved_policy = policy or spec.config.scheduling_policy
     return RunResult(
         system=spec.name,
         workload=trace.name,

@@ -10,8 +10,15 @@
 * :class:`ChromeTraceBuilder` — Perfetto-loadable Chrome trace-event
   export of sampled packets and component lanes
   (``repro.telemetry.trace``);
-* :class:`ProgressReporter` — live cycles/sec + in-flight + delivered
-  status line for long runs (``repro.telemetry.progress``);
+* :class:`ProgressReporter` / :class:`EtaEstimator` — live cycles/sec +
+  in-flight + delivered + ETA status line for long runs
+  (``repro.telemetry.progress``);
+* :class:`LiveFeed` — schema-versioned JSONL streaming of run lifecycle,
+  progress/ETA, epoch samples and health events to
+  ``runs/live/<run_id>.jsonl`` for ``repro watch``
+  (``repro.telemetry.live``);
+* :mod:`repro.telemetry.server` — the stdlib SSE fleet-observability
+  service behind ``repro watch`` (imported lazily by the CLI);
 * :class:`FlightRecorder` / :class:`HealthMonitor` /
   :class:`ForensicsSession` — bounded event ring buffer, live health
   probes and automatic postmortem bundles for wedged runs, rendered by
@@ -66,8 +73,17 @@ from .hostprof import (
     render_host_table,
     validate_speedscope,
 )
+from .live import (
+    LIVE_SCHEMA_VERSION,
+    LiveFeed,
+    LiveFeedError,
+    feed_status,
+    live_feed_path,
+    read_feed,
+    validate_live_event,
+)
 from .metrics import EpochMetrics, EpochSample
-from .progress import ProgressReporter
+from .progress import EtaEstimator, ProgressReporter, format_eta
 from .runstore import (
     RUN_SCHEMA_VERSION,
     RunRecord,
@@ -91,7 +107,10 @@ __all__ = [
     "HOST_PHASES",
     "HostTimeLedger",
     "HostprofError",
+    "LIVE_SCHEMA_VERSION",
     "LatencyLedger",
+    "LiveFeed",
+    "LiveFeedError",
     "NULL_BUS",
     "RUN_SCHEMA_VERSION",
     "STAGES",
@@ -99,6 +118,7 @@ __all__ = [
     "TelemetryBus",
     "EpochMetrics",
     "EpochSample",
+    "EtaEstimator",
     "EventCounters",
     "MetricVerdict",
     "ProgressReporter",
@@ -112,13 +132,18 @@ __all__ = [
     "compare_bench",
     "compare_paths",
     "compare_records",
+    "feed_status",
+    "format_eta",
+    "live_feed_path",
     "load_bundle",
     "record_from_result",
     "render_bundle_html",
     "render_bundle_text",
     "render_host_table",
+    "read_feed",
     "run_bench",
     "validate_bundle",
+    "validate_live_event",
     "validate_speedscope",
     "write_bundle",
 ]

@@ -18,6 +18,14 @@ The page carries its own light/dark palette as CSS custom properties
 (the chart SVGs reference ``var(--series-N)`` and ink/surface roles), so
 it respects ``prefers-color-scheme`` without any scripting.
 
+The registry-backed panel builders (:func:`bench_section`,
+:func:`hostperf_section`, :func:`breakdown_section`,
+:func:`health_section`, :func:`runs_section`) and the page shell
+(:data:`PAGE_STYLE`, :func:`render_page`) are public: the live fleet
+service (:mod:`repro.telemetry.server`, ``repro watch``) renders the
+same panels instead of duplicating them, so the static and live views
+cannot drift apart.
+
 Import note: simulator modules are imported inside functions only (see
 the package initializer's import note).
 """
@@ -40,7 +48,7 @@ class DashboardError(ValueError):
     """The dashboard cannot be built (e.g. no benchmark results exist)."""
 
 
-_PAGE_STYLE = """
+PAGE_STYLE = """
 :root {
   color-scheme: light dark;
 }
@@ -97,7 +105,7 @@ pre { background: var(--surface-2); padding: 12px; overflow-x: auto;
 """
 
 
-def _fmt(value: Any) -> str:
+def fmt_value(value: Any) -> str:
     if isinstance(value, float):
         if math.isnan(value):
             return "n/a"
@@ -145,7 +153,7 @@ def _result_table(result: "ExperimentResult", pattern: str) -> str:
     rows = result.filtered(pattern=pattern)
     head = "".join(f"<th>{html.escape(h)}</th>" for h in result.headers)
     body = "".join(
-        "<tr>" + "".join(f"<td>{_fmt(cell)}</td>" for cell in row) + "</tr>"
+        "<tr>" + "".join(f"<td>{fmt_value(cell)}</td>" for cell in row) + "</tr>"
         for row in rows
     )
     return (
@@ -162,7 +170,7 @@ def _agreement_section(results_dir: Path, scale: str) -> str:
     return f"<pre>{html.escape(text)}</pre>"
 
 
-def _bench_section(bench_dirs: list[Path]) -> str:
+def bench_section(bench_dirs: list[Path]) -> str:
     from repro.viz import svg_line_chart
 
     docs: list[tuple[str, dict[str, Any]]] = []
@@ -212,10 +220,10 @@ def _bench_section(bench_dirs: list[Path]) -> str:
         rows.append(
             "<tr>"
             f"<td>{html.escape(name)}</td>"
-            f"<td>{_fmt(case['cps']['median'])}</td>"
-            f"<td>{_fmt(case['cps']['iqr'])}</td>"
-            f"<td>{_fmt(case['wall_s']['median'])}</td>"
-            f"<td>{_fmt(case['stats']['avg_latency'])}</td>"
+            f"<td>{fmt_value(case['cps']['median'])}</td>"
+            f"<td>{fmt_value(case['cps']['iqr'])}</td>"
+            f"<td>{fmt_value(case['wall_s']['median'])}</td>"
+            f"<td>{fmt_value(case['stats']['avg_latency'])}</td>"
             "</tr>"
         )
     table = (
@@ -230,7 +238,7 @@ def _bench_section(bench_dirs: list[Path]) -> str:
     return f"<figure>{chart}</figure>{table}"
 
 
-def _hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
+def hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
     """Host-performance panel from the registry's ``kind="bench"`` records.
 
     Charts simulated cycles/second across bench history plus the latest
@@ -322,7 +330,7 @@ def _hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
     return f"<figure>{chart}</figure>{phase_figure}{meta}"
 
 
-def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
+def breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
     """Stacked per-stage latency bars + bottleneck table from the registry."""
     from repro.viz import svg_stacked_bars
 
@@ -366,9 +374,9 @@ def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
     stage_rows = "".join(
         "<tr>"
         f"<td>{html.escape(name)}</td>"
-        f"<td>{_fmt(float(cell.get('mean', 0.0)))}</td>"
-        f"<td>{_fmt(float(cell.get('p95', 0.0)))}</td>"
-        f"<td>{_fmt(float(cell.get('p99', 0.0)))}</td>"
+        f"<td>{fmt_value(float(cell.get('mean', 0.0)))}</td>"
+        f"<td>{fmt_value(float(cell.get('p95', 0.0)))}</td>"
+        f"<td>{fmt_value(float(cell.get('p99', 0.0)))}</td>"
         f"<td>{float(cell.get('share', 0.0)):.1%}</td>"
         "</tr>"
         for name, cell in latest.breakdown["stages"].items()
@@ -386,9 +394,9 @@ def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
             "<tr>"
             f"<td>{entry.get('src')}&rarr;{entry.get('dst')}</td>"
             f"<td>{html.escape(str(entry.get('kind', '')))}</td>"
-            f"<td>{_fmt(float(entry.get('queue_cycles', 0)))}</td>"
-            f"<td>{_fmt(float(entry.get('stall_cycles', 0)))}</td>"
-            f"<td>{_fmt(float(entry.get('packets', 0)))}</td>"
+            f"<td>{fmt_value(float(entry.get('queue_cycles', 0)))}</td>"
+            f"<td>{fmt_value(float(entry.get('stall_cycles', 0)))}</td>"
+            f"<td>{fmt_value(float(entry.get('packets', 0)))}</td>"
             "</tr>"
             for entry in links[:5]
         )
@@ -408,7 +416,7 @@ def _breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
     return f"<figure>{chart}</figure>{stage_table}{bottlenecks}"
 
 
-def _health_section(runs_dir: Path, max_runs: int = 8) -> str:
+def health_section(runs_dir: Path, max_runs: int = 8) -> str:
     """Per-run health panel for records carrying forensics summaries.
 
     One row per run recorded with ``--health``: anomaly flags, probe
@@ -459,8 +467,8 @@ def _health_section(runs_dir: Path, max_runs: int = 8) -> str:
             f"<td>{html.escape(record.label)}</td>"
             f"<td>{html.escape(record.workload)}</td>"
             f"<td>{flags_cell}</td>"
-            f"<td>{_fmt(health.get('probes', 0))}</td>"
-            f"<td>{_fmt(health.get('max_oldest_age', 0))}</td>"
+            f"<td>{fmt_value(health.get('probes', 0))}</td>"
+            f"<td>{fmt_value(health.get('max_oldest_age', 0))}</td>"
             f"<td>{spark}</td>"
             f"<td>{bundle_cell}</td>"
             "</tr>"
@@ -473,11 +481,28 @@ def _health_section(runs_dir: Path, max_runs: int = 8) -> str:
     )
 
 
-def _runs_section(runs_dir: Path, top: int) -> str:
+def skipped_warning(store: RunStore) -> str:
+    """Warning fragment for malformed registry lines ('' when clean).
+
+    Meaningful after a lenient read populated :attr:`RunStore.skipped`;
+    both the static dashboard and the ``repro watch`` fleet view show it.
+    """
+    if not store.skipped:
+        return ""
+    noun = "line" if store.skipped == 1 else "lines"
+    return (
+        f'<p class="alarm">{store.skipped} unreadable registry {noun} '
+        f"skipped in <code>{html.escape(str(store.path))}</code> — "
+        "inspect the file for corruption or foreign schema versions.</p>"
+    )
+
+
+def runs_section(runs_dir: Path, top: int) -> str:
     store = RunStore(runs_dir)
     records: list[RunRecord] = store.latest(top, strict=False)
+    warning = skipped_warning(store)
     if not records:
-        return (
+        return warning + (
             '<p class="empty">no run records yet — every '
             "<code>repro run</code> / <code>repro simulate</code> appends "
             f"one to <code>{html.escape(str(store.path))}</code>.</p>"
@@ -493,15 +518,30 @@ def _runs_section(runs_dir: Path, top: int) -> str:
             f"<td>{html.escape(str(record.seed))}</td>"
             f"<td>{html.escape(record.git_rev)}</td>"
             f"<td>{html.escape(record.config_hash)}</td>"
-            f"<td>{_fmt(record.cycles_per_second)}</td>"
-            f"<td>{_fmt(record.stats.get('avg_latency', math.nan))}</td>"
+            f"<td>{fmt_value(record.cycles_per_second)}</td>"
+            f"<td>{fmt_value(record.stats.get('avg_latency', math.nan))}</td>"
             "</tr>"
         )
-    return (
+    return warning + (
         "<table><thead><tr><th>created</th><th>kind</th><th>label</th>"
         "<th>workload</th><th>seed</th><th>git</th><th>config</th>"
         "<th>cyc/s</th><th>avg latency</th></tr></thead>"
         f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_page(title: str, body: str, *, head_extra: str = "") -> str:
+    """Wrap rendered sections in the shared HTML page shell.
+
+    ``head_extra`` lets the live server add its ``<meta>`` hints; the
+    static dashboard passes nothing and stays script-free.
+    """
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{PAGE_STYLE}</style>{head_extra}</head>"
+        f"<body class=\"viz-root\">{body}</body></html>\n"
     )
 
 
@@ -539,23 +579,17 @@ def build_dashboard(
         "<h2>Paper-vs-measured agreement</h2>",
         _agreement_section(results_dir, scale),
         "<h2>Performance trajectory</h2>",
-        _bench_section(dirs),
+        bench_section(dirs),
         "<h2>Host performance</h2>",
-        _hostperf_section(Path(runs_dir)),
+        hostperf_section(Path(runs_dir)),
         "<h2>Latency attribution</h2>",
-        _breakdown_section(Path(runs_dir)),
+        breakdown_section(Path(runs_dir)),
         "<h2>Run health</h2>",
-        _health_section(Path(runs_dir)),
+        health_section(Path(runs_dir)),
         "<h2>Recent runs</h2>",
-        _runs_section(Path(runs_dir), top_runs),
+        runs_section(Path(runs_dir), top_runs),
     ]
-    return (
-        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
-        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">"
-        "<title>repro dashboard</title>"
-        f"<style>{_PAGE_STYLE}</style></head>"
-        f"<body class=\"viz-root\">{''.join(sections)}</body></html>\n"
-    )
+    return render_page("repro dashboard", "".join(sections))
 
 
 def write_dashboard(

@@ -41,6 +41,7 @@ typing and the ``snapshot_state`` hooks.
 
 from __future__ import annotations
 
+import dataclasses
 import html as _html
 import json
 import math
@@ -333,6 +334,10 @@ class HealthProbe:
     oldest_age: int
     oldest_pid: Optional[int]
 
+    def to_json(self) -> dict[str, Any]:
+        """JSON payload shared with live-feed ``health`` events."""
+        return dataclasses.asdict(self)
+
 
 @dataclass
 class HealthAnomaly:
@@ -341,6 +346,10 @@ class HealthAnomaly:
     cycle: int
     kind: str
     detail: str
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON payload shared with bundles and live-feed events."""
+        return dataclasses.asdict(self)
 
 
 class HealthMonitor:
@@ -496,10 +505,7 @@ class HealthMonitor:
             "anomaly_count": len(self.anomalies),
             "flags": sorted({a.kind for a in self.anomalies}),
             "max_oldest_age": max((p.oldest_age for p in self.probes), default=0),
-            "anomalies": [
-                {"cycle": a.cycle, "kind": a.kind, "detail": a.detail}
-                for a in self.anomalies[:max_anomalies]
-            ],
+            "anomalies": [a.to_json() for a in self.anomalies[:max_anomalies]],
             "oldest_age_series": series,
         }
 

@@ -1,0 +1,378 @@
+"""Live run telemetry: schema-versioned JSONL feeds for ``repro watch``.
+
+:class:`LiveFeed` subscribes to the ``cycle_end`` event and appends
+line-delimited JSON events to ``runs/live/<run_id>.jsonl`` while a run is
+in flight: one ``start`` event with the run's identity, a ``heartbeat``
+every ``every`` cycles carrying progress, smoothed simulation speed and
+an ETA, every closed :class:`~repro.telemetry.metrics.EpochSample`, every
+:class:`~repro.telemetry.forensics.HealthMonitor` probe and anomaly flag,
+and a terminal ``finish`` or ``failure`` event (the latter pointing at
+the postmortem bundle when forensics captured one).  The feed is the
+write side of the fleet view served by :mod:`repro.telemetry.server`.
+
+The feed is opt-in (``TelemetryConfig.live`` / ``repro simulate --live``)
+and piggybacks on collectors the session already attached: at each
+heartbeat it drains *new* entries from ``EpochMetrics.samples`` and the
+health monitor's ``probes`` / ``anomalies`` lists by position, so the hot
+path stays one modulo test per cycle and the zero-subscriber bus contract
+is untouched when the feed is off.  :class:`TelemetrySession` attaches the
+feed *last*, so the documented subscription-order guarantee means epoch
+and health state is already up to date when a heartbeat samples it.
+
+Like the registry and forensics bundles, the event stream is
+schema-versioned: :func:`validate_live_event` checks one event,
+:func:`read_feed` loads and validates a whole feed, and
+:func:`feed_status` folds a feed into the compact per-run status dict the
+fleet view renders.  This module is pure stdlib and must stay free of
+``repro.noc`` / ``repro.sim`` imports at module load (see the package
+initializer's import note).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from .progress import EtaEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+    from .forensics import HealthMonitor
+    from .metrics import EpochMetrics
+
+#: Version of the live-feed event schema.  Bump on incompatible changes;
+#: :func:`validate_live_event` rejects events written by other versions.
+LIVE_SCHEMA_VERSION = 1
+
+#: Default feed directory, relative to the run registry directory.
+DEFAULT_LIVE_SUBDIR = "live"
+
+#: Payload fields every event kind must carry (beyond the envelope).
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    "start": ("meta",),
+    "heartbeat": ("cycle", "cps", "eta_seconds", "in_network", "delivered_fraction"),
+    "epoch": ("epoch",),
+    "health": ("probe",),
+    "anomaly": ("cycle", "anomaly_kind", "detail"),
+    "finish": ("cycle", "wall_seconds", "stats"),
+    "failure": ("cycle", "reason", "error", "bundle"),
+}
+
+#: Envelope fields every event carries.
+ENVELOPE_FIELDS = ("schema_version", "run_id", "seq", "wall", "kind")
+
+
+class LiveFeedError(ValueError):
+    """A live-feed event could not be validated or a feed line read."""
+
+
+def live_feed_path(directory: str | Path, run_id: str) -> Path:
+    """The feed path for one run id under a live-feed directory."""
+    return Path(directory) / f"{run_id}.jsonl"
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` so lines stay strict JSON."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def validate_live_event(event: Any) -> dict[str, Any]:
+    """Check one feed event against the schema; return it on success."""
+    if not isinstance(event, dict):
+        raise LiveFeedError(f"live event is not a JSON object: {type(event).__name__}")
+    version = event.get("schema_version")
+    if version != LIVE_SCHEMA_VERSION:
+        raise LiveFeedError(
+            f"live event schema v{version!r} is not supported "
+            f"(this build reads v{LIVE_SCHEMA_VERSION})"
+        )
+    for name in ENVELOPE_FIELDS:
+        if name not in event:
+            raise LiveFeedError(f"live event is missing envelope field {name!r}")
+    kind = event["kind"]
+    required = EVENT_KINDS.get(kind)
+    if required is None:
+        raise LiveFeedError(f"unknown live event kind {kind!r}")
+    missing = [name for name in required if name not in event]
+    if missing:
+        raise LiveFeedError(
+            f"live {kind!r} event is missing fields: {', '.join(missing)}"
+        )
+    return event
+
+
+def read_feed(path: str | Path, *, strict: bool = True) -> list[dict[str, Any]]:
+    """Load and validate one feed file.
+
+    With ``strict=False`` unreadable lines (truncated tail of an in-flight
+    run, corrupt JSON, foreign schema) are skipped instead of raising.
+    """
+    path = Path(path)
+    events: list[dict[str, Any]] = []
+    if not path.is_file():
+        return events
+    with path.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(validate_live_event(json.loads(line)))
+            except (json.JSONDecodeError, LiveFeedError) as exc:
+                if strict:
+                    raise LiveFeedError(
+                        f"{path}:{number}: unreadable live event: {exc}"
+                    ) from None
+    return events
+
+
+def feed_status(
+    events: list[dict[str, Any]], *, now: Optional[float] = None
+) -> dict[str, Any]:
+    """Fold a feed's events into the per-run status the fleet view shows."""
+    status: dict[str, Any] = {
+        "run_id": events[0].get("run_id", "") if events else "",
+        "state": "pending",
+        "meta": {},
+        "cycle": 0,
+        "total_cycles": None,
+        "fraction": None,
+        "cps": None,
+        "eta_seconds": None,
+        "delivered_fraction": None,
+        "epochs": 0,
+        "anomalies": [],
+        "last_wall": None,
+        "age_seconds": None,
+        "wall_seconds": None,
+        "stats": {},
+        "reason": None,
+        "bundle": None,
+        "error": None,
+    }
+    for event in events:
+        kind = event.get("kind")
+        wall = event.get("wall")
+        if isinstance(wall, (int, float)):
+            status["last_wall"] = wall
+        cycle = event.get("cycle")
+        if isinstance(cycle, int):
+            status["cycle"] = max(status["cycle"], cycle)
+        if kind == "start":
+            status["state"] = "running"
+            status["meta"] = event.get("meta") or {}
+            status["total_cycles"] = status["meta"].get("total_cycles")
+        elif kind == "heartbeat":
+            status["cps"] = event.get("cps")
+            status["eta_seconds"] = event.get("eta_seconds")
+            status["delivered_fraction"] = event.get("delivered_fraction")
+        elif kind == "epoch":
+            status["epochs"] += 1
+        elif kind == "anomaly":
+            status["anomalies"].append(
+                {
+                    "cycle": event.get("cycle"),
+                    "kind": event.get("anomaly_kind"),
+                    "detail": event.get("detail"),
+                }
+            )
+        elif kind == "finish":
+            status["state"] = "finished"
+            status["stats"] = event.get("stats") or {}
+            status["wall_seconds"] = event.get("wall_seconds")
+            status["eta_seconds"] = 0.0
+        elif kind == "failure":
+            status["state"] = "failed"
+            status["reason"] = event.get("reason")
+            status["error"] = event.get("error")
+            status["bundle"] = event.get("bundle")
+    total = status["total_cycles"]
+    if isinstance(total, int) and total > 0:
+        status["fraction"] = min(1.0, status["cycle"] / total)
+    if status["last_wall"] is not None:
+        reference = time.time() if now is None else now
+        status["age_seconds"] = max(0.0, reference - status["last_wall"])
+    return status
+
+
+class LiveFeed:
+    """Streams one run's lifecycle, progress, epochs and health to a feed.
+
+    Parameters
+    ----------
+    network:
+        The built network to observe.
+    run_id:
+        Registry run id the feed is keyed by (joins the feed to its
+        :class:`~repro.telemetry.runstore.RunRecord` in the fleet view).
+    directory:
+        Directory the ``<run_id>.jsonl`` feed is appended under.
+    every:
+        Cycles between heartbeat events (>= 1).
+    total_cycles:
+        When known, heartbeats include completion fraction and ETA.
+    metrics / monitor:
+        Session collectors to drain at heartbeats (optional).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        *,
+        run_id: str,
+        directory: str | Path = f"runs/{DEFAULT_LIVE_SUBDIR}",
+        every: int = 1_000,
+        total_cycles: Optional[int] = None,
+        metrics: Optional["EpochMetrics"] = None,
+        monitor: Optional["HealthMonitor"] = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.network = network
+        self.run_id = run_id
+        self.directory = Path(directory)
+        self.every = every
+        self.total_cycles = total_cycles
+        self.metrics = metrics
+        self.monitor = monitor
+        self.eta = EtaEstimator(total_cycles)
+        self.events_written = 0
+        self._seq = 0
+        self._epochs_sent = 0
+        self._probes_sent = 0
+        self._anomalies_sent = 0
+        self._closed = False
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = live_feed_path(self.directory, run_id)
+        self._handle = self.path.open("w", encoding="utf-8")
+        network.telemetry.subscribe("cycle_end", self._on_cycle_end)
+
+    # -- event emission ------------------------------------------------------
+    def _emit(self, kind: str, payload: dict[str, Any]) -> None:
+        if self._closed:
+            return
+        event = {
+            "schema_version": LIVE_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "seq": self._seq,
+            "wall": time.time(),
+            "kind": kind,
+        }
+        event.update(_json_safe(payload))
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._seq += 1
+        self.events_written += 1
+
+    def start(self, meta: dict[str, Any]) -> None:
+        """Announce the run: identity, geometry, workload, horizon."""
+        meta = dict(meta)
+        meta.setdefault("total_cycles", self.total_cycles)
+        self._emit("start", {"meta": meta})
+
+    def _on_cycle_end(self, network: "Network", now: int) -> None:
+        cycle = now + 1
+        if cycle % self.every:
+            return
+        self._heartbeat(cycle)
+
+    def _heartbeat(self, cycle: int) -> None:
+        cps = self.eta.update(cycle)
+        stats = self.network.stats
+        in_network = self.network.buffered_flits() + self.network.in_flight_flits()
+        self._emit(
+            "heartbeat",
+            {
+                "cycle": cycle,
+                "fraction": (
+                    min(1.0, cycle / self.total_cycles) if self.total_cycles else None
+                ),
+                "cps": cps,
+                "eta_seconds": self.eta.eta_seconds(cycle),
+                "in_network": in_network,
+                "delivered": stats.packets_delivered,
+                "delivered_fraction": stats.delivered_fraction,
+            },
+        )
+        self._drain(cycle)
+
+    def _drain(self, cycle: int) -> None:
+        """Forward epoch samples and health events collected since last time."""
+        if self.metrics is not None:
+            samples = self.metrics.samples
+            for sample in samples[self._epochs_sent :]:
+                self._emit("epoch", {"cycle": sample.end, "epoch": sample.to_json()})
+            self._epochs_sent = len(samples)
+        if self.monitor is not None:
+            probes = self.monitor.probes
+            for probe in probes[self._probes_sent :]:
+                self._emit("health", {"cycle": probe.cycle, "probe": probe.to_json()})
+            self._probes_sent = len(probes)
+            anomalies = self.monitor.anomalies
+            for anomaly in anomalies[self._anomalies_sent :]:
+                self._emit(
+                    "anomaly",
+                    {
+                        "cycle": anomaly.cycle,
+                        "anomaly_kind": anomaly.kind,
+                        "detail": anomaly.detail,
+                    },
+                )
+            self._anomalies_sent = len(anomalies)
+
+    # -- lifecycle -----------------------------------------------------------
+    def finish(self, end_cycle: int) -> Path:
+        """Emit the terminal ``finish`` event and close the feed."""
+        if not self._closed:
+            self.eta.update(end_cycle)
+            self._drain(end_cycle)
+            self._emit(
+                "finish",
+                {
+                    "cycle": end_cycle,
+                    "wall_seconds": self.eta.wall_seconds,
+                    "stats": dict(self.network.stats.summary()),
+                },
+            )
+            self.close()
+        return self.path
+
+    def fail(
+        self,
+        reason: str,
+        cycle: int,
+        *,
+        error: Optional[str] = None,
+        bundle: Optional[str] = None,
+    ) -> Path:
+        """Emit the terminal ``failure`` event and close the feed.
+
+        ``bundle`` points at the postmortem bundle when forensics captured
+        one, so the fleet view can link straight to ``repro postmortem``.
+        """
+        if not self._closed:
+            self._drain(cycle)
+            self._emit(
+                "failure",
+                {"cycle": cycle, "reason": reason, "error": error, "bundle": bundle},
+            )
+            self.close()
+        return self.path
+
+    def close(self) -> None:
+        """Detach from the bus and close the file (idempotent)."""
+        if self._closed:
+            return
+        self.network.telemetry.unsubscribe("cycle_end", self._on_cycle_end)
+        self._closed = True
+        self._handle.close()

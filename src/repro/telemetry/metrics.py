@@ -66,6 +66,43 @@ class EpochSample:
     def cycles(self) -> int:
         return self.end - self.start
 
+    def to_json(self) -> dict[str, Any]:
+        """One JSON-serializable epoch document.
+
+        The same shape lands in ``metrics.json`` (via
+        :meth:`EpochMetrics.to_json`) and in live-feed ``epoch`` events
+        (:class:`~repro.telemetry.live.LiveFeed`), so watch-side readers
+        and offline analysis parse one format.
+        """
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "warmup": self.warmup,
+            "flits_injected": self.flits_injected,
+            "packets_delivered": self.packets_delivered,
+            "router_flits": self.router_flits,
+            "buffered": self.buffered,
+            "in_flight": self.in_flight,
+            "link_flits": {str(k): v for k, v in self.link_flits.items()},
+            "buffer_occupancy": [
+                {"node": node, "port": port, "vc": vc, "flits": flits}
+                for (node, port, vc), flits in self.buffer_occupancy.items()
+            ],
+            "credit_stalls": [
+                {"node": node, "out_port": port, "vc": vc, "cycles": cycles}
+                for (node, port, vc), cycles in self.credit_stalls.items()
+            ],
+            "rob": {
+                str(index): {"occupancy": occ, "peak": peak}
+                for index, (occ, peak) in self.rob.items()
+            },
+            "phy_split": {
+                str(index): {"parallel": par, "serial": ser, "bypassed": byp}
+                for index, (par, ser, byp) in self.phy_split.items()
+            },
+        }
+
 
 class EpochMetrics:
     """Time-series collector attached to a network's telemetry bus.
@@ -276,37 +313,7 @@ class EpochMetrics:
                 }
                 for index, spec in enumerate(self.network.specs)
             ],
-            "epochs": [
-                {
-                    "index": sample.index,
-                    "start": sample.start,
-                    "end": sample.end,
-                    "warmup": sample.warmup,
-                    "flits_injected": sample.flits_injected,
-                    "packets_delivered": sample.packets_delivered,
-                    "router_flits": sample.router_flits,
-                    "buffered": sample.buffered,
-                    "in_flight": sample.in_flight,
-                    "link_flits": {str(k): v for k, v in sample.link_flits.items()},
-                    "buffer_occupancy": [
-                        {"node": node, "port": port, "vc": vc, "flits": flits}
-                        for (node, port, vc), flits in sample.buffer_occupancy.items()
-                    ],
-                    "credit_stalls": [
-                        {"node": node, "out_port": port, "vc": vc, "cycles": cycles}
-                        for (node, port, vc), cycles in sample.credit_stalls.items()
-                    ],
-                    "rob": {
-                        str(index): {"occupancy": occ, "peak": peak}
-                        for index, (occ, peak) in sample.rob.items()
-                    },
-                    "phy_split": {
-                        str(index): {"parallel": par, "serial": ser, "bypassed": byp}
-                        for index, (par, ser, byp) in sample.phy_split.items()
-                    },
-                }
-                for sample in self.samples
-            ],
+            "epochs": [sample.to_json() for sample in self.samples],
         }
 
     def write(self, directory: str | Path) -> list[Path]:

@@ -3,13 +3,19 @@
 :class:`ProgressReporter` subscribes to the ``cycle_end`` event and
 periodically rewrites one status line on a stream (stderr by default):
 simulated cycle, simulation speed in cycles/second of wall-clock time,
-flits currently in the network, and the delivered fraction of the
-measured packet population.  Overhead is one modulo test per cycle plus
-one line of I/O per reporting interval.
+flits currently in the network, the delivered fraction of the measured
+packet population and — when the horizon is known — an ETA.  Overhead is
+one modulo test per cycle plus one line of I/O per reporting interval.
 
 On an interactive terminal the line is rewritten in place with ``"\r"``;
 when the stream is not a TTY (CI logs, files, pipes) every update is
 written as its own newline-terminated line so logs stay readable.
+
+:class:`EtaEstimator` is the shared remaining-time model: an
+exponentially smoothed cycles-per-second estimate divided into the
+remaining horizon.  The reporter's TTY line and the live feed's heartbeat
+events (:class:`~repro.telemetry.live.LiveFeed`) both use it, so the ETA
+a terminal shows and the ETA ``repro watch`` shows agree.
 """
 
 from __future__ import annotations
@@ -21,6 +27,67 @@ from typing import IO, TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.network import Network
+
+
+class EtaEstimator:
+    """Smoothed simulation speed and remaining wall-time estimate.
+
+    ``update(cycle)`` folds the speed over the latest interval into an
+    exponential moving average (``alpha`` weights the newest interval),
+    which damps the burstiness of per-interval wall clocks; the ETA is
+    the remaining cycles divided by that smoothed speed, or ``None``
+    while no horizon or no speed estimate is available.
+    """
+
+    def __init__(self, total_cycles: Optional[int] = None, *, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.total_cycles = total_cycles
+        self.alpha = alpha
+        self.cps = math.nan
+        self._started = time.perf_counter()
+        self._last_wall = self._started
+        self._last_cycle = 0
+
+    def update(self, cycle: int) -> float:
+        """Fold the interval since the last update in; return smoothed cps."""
+        wall = time.perf_counter()
+        elapsed = wall - self._last_wall
+        advanced = cycle - self._last_cycle
+        if elapsed > 0 and advanced > 0:
+            instantaneous = advanced / elapsed
+            if math.isnan(self.cps):
+                self.cps = instantaneous
+            else:
+                self.cps = self.alpha * instantaneous + (1.0 - self.alpha) * self.cps
+        self._last_wall = wall
+        self._last_cycle = cycle
+        return self.cps
+
+    def eta_seconds(self, cycle: Optional[int] = None) -> Optional[float]:
+        """Estimated seconds to the horizon (None: unknowable)."""
+        if cycle is None:
+            cycle = self._last_cycle
+        if not self.total_cycles or math.isnan(self.cps) or self.cps <= 0:
+            return None
+        return max(0, self.total_cycles - cycle) / self.cps
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since the estimator was created."""
+        return time.perf_counter() - self._started
+
+
+def format_eta(seconds: Optional[float]) -> str:
+    """``"1:03:20"`` / ``"4:02"`` / ``"n/a"`` rendering of an ETA."""
+    if seconds is None or not math.isfinite(seconds) or seconds < 0:
+        return "n/a"
+    whole = int(round(seconds))
+    hours, remainder = divmod(whole, 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
 
 
 class ProgressReporter:
@@ -62,6 +129,7 @@ class ProgressReporter:
         self._last_wall = self._started
         self._last_cycle = 0
         self._closed = False
+        self.eta = EtaEstimator(total_cycles)
         network.telemetry.subscribe("cycle_end", self._on_cycle_end)
 
     def _on_cycle_end(self, network: "Network", now: int) -> None:
@@ -73,6 +141,7 @@ class ProgressReporter:
         cps = (cycle - self._last_cycle) / elapsed if elapsed > 0 else float("inf")
         self._last_wall = wall
         self._last_cycle = cycle
+        self.eta.update(cycle)
         self.updates += 1
         line = self._format_line(cycle, cps)
         if self._tty:
@@ -92,6 +161,8 @@ class ProgressReporter:
         parts.append(f"| {cps:>10,.0f} cyc/s")
         parts.append(f"| in-flight {in_network:>6d} flits")
         parts.append(f"| delivered {delivered}")
+        if self.total_cycles:
+            parts.append(f"| eta {format_eta(self.eta.eta_seconds(cycle)):>8s}")
         return " ".join(parts)
 
     def close(self) -> None:

@@ -166,8 +166,14 @@ def record_from_result(
     git_rev: Optional[str] = None,
     artifacts: Optional[dict[str, str]] = None,
     extras: Optional[dict[str, float]] = None,
+    run_id: Optional[str] = None,
 ) -> RunRecord:
-    """Build a :class:`RunRecord` from a finished ``RunResult``."""
+    """Build a :class:`RunRecord` from a finished ``RunResult``.
+
+    Pass ``run_id`` to key the record by a pre-allocated id — ``--live``
+    runs do this so the registry record and the live feed
+    (``runs/live/<run_id>.jsonl``) join on one id in the fleet view.
+    """
     breakdown: dict[str, Any] = {}
     session = getattr(result, "telemetry", None)
     ledger = getattr(session, "ledger", None)
@@ -178,7 +184,7 @@ def record_from_result(
     if forensics_session is not None:
         forensics = forensics_session.record_summary()
     return RunRecord(
-        run_id=new_run_id(),
+        run_id=run_id or new_run_id(),
         created=utc_now_iso(),
         kind=kind,
         label=label or result.system,
@@ -206,6 +212,11 @@ class RunStore:
     def __init__(self, directory: str | Path = DEFAULT_RUNS_DIR) -> None:
         self.directory = Path(directory)
         self.path = self.directory / "runs.jsonl"
+        #: Malformed lines skipped by the most recent lenient iteration
+        #: (``iter_records(strict=False)``); surfaced as a warning by the
+        #: dashboard and the ``repro watch`` fleet view so silent registry
+        #: corruption cannot hide.
+        self.skipped = 0
 
     def append(self, record: RunRecord) -> Path:
         """Append one record (creating the store on first use)."""
@@ -219,8 +230,11 @@ class RunStore:
 
         With ``strict=False`` unreadable lines (corrupt JSON, foreign
         schema versions) are skipped instead of raising
-        :class:`RunStoreError`.
+        :class:`RunStoreError`; how many were skipped is recorded on
+        :attr:`skipped` (reset at the start of each lenient iteration).
         """
+        if not strict:
+            self.skipped = 0
         if not self.path.is_file():
             return
         with self.path.open("r", encoding="utf-8") as handle:
@@ -238,6 +252,7 @@ class RunStore:
                         raise RunStoreError(
                             f"{self.path}:{number}: unreadable run record: {exc}"
                         ) from None
+                    self.skipped += 1
 
     def load(self, *, strict: bool = True) -> list[RunRecord]:
         return list(self.iter_records(strict=strict))

@@ -1,0 +1,536 @@
+"""Live fleet observability service (``repro watch``).
+
+A stdlib-only HTTP service — :class:`http.server.ThreadingHTTPServer`,
+no third-party dependencies — that tails the run registry
+(``runs/runs.jsonl``) and the live feeds ``--live`` runs append under
+``runs/live/`` (:mod:`repro.telemetry.live`), and serves:
+
+* ``/`` — the fleet page: runs in flight with progress bars and ETAs,
+  recent failures with their postmortem bundle paths, the bench
+  trajectory and host-phase shares, and the recent-runs registry table —
+  auto-updating via Server-Sent Events;
+* ``/run/<run_id>`` — one run's live page (heartbeat, epochs, health);
+* ``/api/runs`` — the fleet state as JSON;
+* ``/api/live/<run_id>`` — one feed's folded status plus its raw events;
+* ``/api/bench`` — the bench trajectory extracted from the registry;
+* ``/events`` and ``/events/<run_id>`` — the SSE streams behind the
+  pages (``data:`` lines carrying re-rendered HTML fragments).
+
+The HTML panels come from :mod:`repro.telemetry.dashboard`'s public
+builders, so the live view and the static ``repro dashboard`` render the
+registry identically.  Reads are stateless — every request re-reads the
+registry and feeds — which keeps the service correct under concurrent
+writers at fleet sizes where a JSONL scan per poll is cheap.
+
+Import note: this module must stay free of ``repro.noc`` / ``repro.sim``
+imports at module load (see the package initializer's import note); it
+only reads files other processes write.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Optional
+from urllib.parse import urlparse
+
+from .dashboard import (
+    fmt_value,
+    health_section,
+    hostperf_section,
+    render_page,
+    runs_section,
+    skipped_warning,
+)
+from .live import LIVE_SCHEMA_VERSION, feed_status, read_feed
+from .progress import format_eta
+from .runstore import RunStore, utc_now_iso
+
+#: Default port of ``repro watch``.
+DEFAULT_PORT = 8631
+
+#: A feed without new events for this long is flagged stale in the view.
+STALE_AFTER_SECONDS = 30.0
+
+
+def _sse_script(endpoint: str) -> str:
+    """The page's auto-update hook: swap ``#live`` on every SSE message."""
+    return (
+        "<script>"
+        f"const src = new EventSource({json.dumps(endpoint)});"
+        "src.onmessage = (event) => {"
+        "  const payload = JSON.parse(event.data);"
+        "  document.getElementById('live').innerHTML = payload.html;"
+        "};"
+        "</script>"
+    )
+
+
+class WatchService:
+    """Fleet state assembly + page rendering over one runs directory.
+
+    Parameters
+    ----------
+    runs_dir:
+        The run-registry directory (``runs.jsonl`` plus the ``live/``
+        feed subdirectory live there).
+    poll_seconds:
+        SSE change-detection interval.
+    top_runs:
+        Rows in the recent-runs table.
+    """
+
+    def __init__(
+        self,
+        runs_dir: str | Path = "runs",
+        *,
+        poll_seconds: float = 1.0,
+        top_runs: int = 20,
+    ) -> None:
+        self.runs_dir = Path(runs_dir)
+        self.live_dir = self.runs_dir / "live"
+        self.poll_seconds = poll_seconds
+        self.top_runs = top_runs
+
+    # -- state assembly ------------------------------------------------------
+    def _feed_paths(self) -> list[Path]:
+        if not self.live_dir.is_dir():
+            return []
+        return sorted(
+            self.live_dir.glob("*.jsonl"),
+            key=lambda path: path.stat().st_mtime,
+            reverse=True,
+        )
+
+    def feed_statuses(self) -> list[dict[str, Any]]:
+        """Folded status of every live feed, most recently touched first.
+
+        Lenient reads: a feed being appended to mid-line must not break
+        the fleet view.
+        """
+        statuses = []
+        for path in self._feed_paths():
+            events = read_feed(path, strict=False)
+            if not events:
+                continue
+            status = feed_status(events)
+            status["feed"] = str(path)
+            statuses.append(status)
+        return statuses
+
+    def fleet_state(self) -> dict[str, Any]:
+        """The ``/api/runs`` document: registry + live feeds, one view."""
+        store = RunStore(self.runs_dir)
+        records = store.load(strict=False)
+        statuses = self.feed_statuses()
+        failures = [status for status in statuses if status["state"] == "failed"]
+        in_flight = [
+            status
+            for status in statuses
+            if status["state"] == "running"
+            and (status["age_seconds"] or 0.0) <= STALE_AFTER_SECONDS
+        ]
+        return {
+            "generated": utc_now_iso(),
+            "schema_version": LIVE_SCHEMA_VERSION,
+            "runs_dir": str(self.runs_dir),
+            "records": len(records),
+            "skipped": store.skipped,
+            "in_flight": [status["run_id"] for status in in_flight],
+            "live": statuses,
+            "failures": failures,
+            "recent": [record.to_dict() for record in records[-self.top_runs :]],
+        }
+
+    def live_state(self, run_id: str) -> Optional[dict[str, Any]]:
+        """The ``/api/live/<run_id>`` document (None: no such feed)."""
+        path = self.live_dir / f"{run_id}.jsonl"
+        if not path.is_file():
+            return None
+        events = read_feed(path, strict=False)
+        status = feed_status(events)
+        status["feed"] = str(path)
+        return {"status": status, "events": events}
+
+    def bench_state(self) -> dict[str, Any]:
+        """The ``/api/bench`` document: per-case trajectory from the registry."""
+        store = RunStore(self.runs_dir)
+        cases: dict[str, list[dict[str, Any]]] = {}
+        count = 0
+        for record in store.iter_records(strict=False):
+            if record.kind != "bench" or not record.bench:
+                continue
+            count += 1
+            for name, case in record.bench.items():
+                cases.setdefault(name, []).append(
+                    {
+                        "created": record.created,
+                        "git_rev": record.git_rev,
+                        "cps_median": (case or {}).get("cps_median"),
+                        "host_shares": ((case or {}).get("host") or {}).get("shares"),
+                    }
+                )
+        return {
+            "generated": utc_now_iso(),
+            "runs_dir": str(self.runs_dir),
+            "bench_records": count,
+            "skipped": store.skipped,
+            "cases": cases,
+        }
+
+    def change_stamp(self) -> tuple:
+        """Cheap fingerprint of everything the pages render.
+
+        The SSE loops re-render only when this changes: registry file
+        size/mtime plus every feed's size/mtime.
+        """
+        entries = []
+        registry = self.runs_dir / "runs.jsonl"
+        for path in [registry, *self._feed_paths()]:
+            try:
+                stat = path.stat()
+                entries.append((str(path), stat.st_mtime_ns, stat.st_size))
+            except OSError:
+                continue
+        return tuple(entries)
+
+    # -- HTML rendering --------------------------------------------------------
+    def _in_flight_section(self, statuses: list[dict[str, Any]]) -> str:
+        from repro.viz import svg_progress_bar
+
+        live = [s for s in statuses if s["state"] == "running"]
+        if not live:
+            return (
+                '<p class="empty">no runs in flight — start one with '
+                "<code>repro simulate --live</code>.</p>"
+            )
+        rows = []
+        for status in live:
+            meta = status["meta"]
+            stale = (status["age_seconds"] or 0.0) > STALE_AFTER_SECONDS
+            state = '<span class="alarm">stale</span>' if stale else "running"
+            bar = svg_progress_bar(status["fraction"], title="completion")
+            cps = status["cps"]
+            rows.append(
+                "<tr>"
+                f'<td><a href="/run/{html.escape(status["run_id"])}">'
+                f'{html.escape(status["run_id"])}</a></td>'
+                f"<td>{html.escape(str(meta.get('system', '')))}</td>"
+                f"<td>{html.escape(str(meta.get('workload', '')))}</td>"
+                f"<td>{bar}</td>"
+                f"<td>{fmt_value(status['cycle'])} / "
+                f"{fmt_value(status['total_cycles'] or float('nan'))}</td>"
+                f"<td>{fmt_value(float(cps)) if cps else 'n/a'}</td>"
+                f"<td>{format_eta(status['eta_seconds'])}</td>"
+                f"<td>{len(status['anomalies'])}</td>"
+                f"<td>{state}</td>"
+                "</tr>"
+            )
+        return (
+            "<table><thead><tr><th>run</th><th>system</th><th>workload</th>"
+            "<th>progress</th><th>cycle</th><th>cyc/s</th><th>eta</th>"
+            "<th>anomalies</th><th>state</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+
+    def _failures_section(self, statuses: list[dict[str, Any]]) -> str:
+        failed = [s for s in statuses if s["state"] == "failed"]
+        if not failed:
+            return '<p class="empty">no failed live runs.</p>'
+        rows = []
+        for status in failed:
+            meta = status["meta"]
+            bundle = status["bundle"]
+            bundle_cell = (
+                f"<code>{html.escape(str(bundle))}</code>" if bundle else "—"
+            )
+            rows.append(
+                "<tr>"
+                f'<td><a href="/run/{html.escape(status["run_id"])}">'
+                f'{html.escape(status["run_id"])}</a></td>'
+                f"<td>{html.escape(str(meta.get('system', '')))}</td>"
+                f"<td>{html.escape(str(meta.get('workload', '')))}</td>"
+                f"<td>{fmt_value(status['cycle'])}</td>"
+                f'<td><span class="alarm">{html.escape(str(status["reason"]))}'
+                "</span></td>"
+                f"<td>{bundle_cell}</td>"
+                "</tr>"
+            )
+        return (
+            "<table><thead><tr><th>run</th><th>system</th><th>workload</th>"
+            "<th>died at cycle</th><th>reason</th>"
+            "<th>postmortem bundle (<code>repro postmortem</code>)</th>"
+            f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+        )
+
+    def fleet_fragment(self) -> str:
+        """The fleet page's auto-updating inner HTML."""
+        statuses = self.feed_statuses()
+        store = RunStore(self.runs_dir)
+        store.load(strict=False)  # populate .skipped for the warning
+        sections = [
+            skipped_warning(store),
+            "<h2>Runs in flight</h2>",
+            self._in_flight_section(statuses),
+            "<h2>Recent failures</h2>",
+            self._failures_section(statuses),
+            "<h2>Bench trajectory &amp; host-phase shares</h2>",
+            hostperf_section(self.runs_dir),
+            "<h2>Run health</h2>",
+            health_section(self.runs_dir),
+            "<h2>Recent runs</h2>",
+            runs_section(self.runs_dir, self.top_runs),
+        ]
+        return "".join(sections)
+
+    def fleet_page(self) -> str:
+        body = (
+            "<h1>repro watch — fleet</h1>"
+            f'<p class="meta">registry {html.escape(str(self.runs_dir))} · '
+            f"generated {html.escape(utc_now_iso())} · auto-updating</p>"
+            f'<main id="live">{self.fleet_fragment()}</main>'
+            f"{_sse_script('/events')}"
+        )
+        return render_page("repro watch — fleet", body)
+
+    def _run_fragment(self, state: dict[str, Any]) -> str:
+        from repro.viz import svg_progress_bar, svg_sparkline
+
+        status = state["status"]
+        meta = status["meta"]
+        parts = []
+        if status["state"] == "failed":
+            bundle = status["bundle"]
+            hint = (
+                f" — postmortem bundle <code>{html.escape(str(bundle))}</code>"
+                if bundle
+                else ""
+            )
+            parts.append(
+                f'<p class="alarm">failed at cycle {fmt_value(status["cycle"])}: '
+                f"{html.escape(str(status['reason']))}"
+                f" ({html.escape(str(status['error']))}){hint}</p>"
+            )
+        elif status["state"] == "finished":
+            parts.append(
+                f'<p class="meta">finished at cycle {fmt_value(status["cycle"])} '
+                f"in {fmt_value(float(status['wall_seconds'] or 0.0))} s</p>"
+            )
+        bar = svg_progress_bar(status["fraction"], title="completion")
+        cps = status["cps"]
+        parts.append(
+            "<table><thead><tr><th>progress</th><th>cycle</th><th>cyc/s</th>"
+            "<th>eta</th><th>delivered</th><th>epochs</th></tr></thead><tbody>"
+            "<tr>"
+            f"<td>{bar}</td>"
+            f"<td>{fmt_value(status['cycle'])} / "
+            f"{fmt_value(status['total_cycles'] or float('nan'))}</td>"
+            f"<td>{fmt_value(float(cps)) if cps else 'n/a'}</td>"
+            f"<td>{format_eta(status['eta_seconds'])}</td>"
+            f"<td>{fmt_value(float(status['delivered_fraction'] or float('nan')))}</td>"
+            f"<td>{fmt_value(status['epochs'])}</td>"
+            "</tr></tbody></table>"
+        )
+        if status["anomalies"]:
+            rows = "".join(
+                "<tr>"
+                f"<td>{fmt_value(anomaly.get('cycle'))}</td>"
+                f'<td><span class="alarm">{html.escape(str(anomaly.get("kind")))}'
+                "</span></td>"
+                f"<td>{html.escape(str(anomaly.get('detail')))}</td>"
+                "</tr>"
+                for anomaly in status["anomalies"]
+            )
+            parts.append(
+                "<h2>Anomalies</h2>"
+                "<table><thead><tr><th>cycle</th><th>kind</th><th>detail</th>"
+                f"</tr></thead><tbody>{rows}</tbody></table>"
+            )
+        epochs = [e["epoch"] for e in state["events"] if e.get("kind") == "epoch"]
+        if epochs:
+            delivered = [float(e.get("packets_delivered", 0)) for e in epochs]
+            parts.append(
+                "<h2>Per-epoch delivery</h2>"
+                f"<figure>{svg_sparkline(delivered, width=360, height=48, title='packets delivered per epoch')}</figure>"
+            )
+            rows = "".join(
+                "<tr>"
+                f"<td>{fmt_value(e.get('index'))}</td>"
+                f"<td>{fmt_value(e.get('start'))}–{fmt_value(e.get('end'))}</td>"
+                f"<td>{fmt_value(e.get('flits_injected'))}</td>"
+                f"<td>{fmt_value(e.get('packets_delivered'))}</td>"
+                f"<td>{fmt_value(e.get('buffered'))}</td>"
+                f"<td>{fmt_value(e.get('in_flight'))}</td>"
+                "</tr>"
+                for e in epochs[-12:]
+            )
+            parts.append(
+                "<details><summary>latest epochs</summary>"
+                "<table><thead><tr><th>epoch</th><th>cycles</th>"
+                "<th>injected</th><th>delivered</th><th>buffered</th>"
+                f"<th>in flight</th></tr></thead><tbody>{rows}</tbody></table>"
+                "</details>"
+            )
+        probes = [e["probe"] for e in state["events"] if e.get("kind") == "health"]
+        if probes:
+            ages = [float(p.get("oldest_age", 0)) for p in probes]
+            parts.append(
+                "<h2>Health</h2><figure>"
+                f"{svg_sparkline(ages, width=360, height=48, title='oldest in-flight packet age')}"
+                "</figure>"
+            )
+        if status["state"] == "finished" and status["stats"]:
+            rows = "".join(
+                f"<tr><td>{html.escape(str(key))}</td><td>{fmt_value(value)}</td></tr>"
+                for key, value in sorted(status["stats"].items())
+            )
+            parts.append(
+                "<details><summary>final stats</summary><table>"
+                f"<tbody>{rows}</tbody></table></details>"
+            )
+        _ = meta  # rendered in the page header
+        return "".join(parts)
+
+    def run_page(self, run_id: str) -> Optional[str]:
+        state = self.live_state(run_id)
+        if state is None:
+            return None
+        meta = state["status"]["meta"]
+        body = (
+            f"<h1>repro watch — run {html.escape(run_id)}</h1>"
+            f'<p class="meta">{html.escape(str(meta.get("system", "?")))} · '
+            f"{html.escape(str(meta.get('workload', '?')))} · "
+            f"policy {html.escape(str(meta.get('policy', '?')))} · "
+            f"seed {html.escape(str(meta.get('seed', '—')))} · "
+            f'<a href="/">back to fleet</a></p>'
+            f'<main id="live">{self._run_fragment(state)}</main>'
+            f"{_sse_script(f'/events/{run_id}')}"
+        )
+        return render_page(f"repro watch — {run_id}", body)
+
+    def run_fragment(self, run_id: str) -> Optional[str]:
+        state = self.live_state(run_id)
+        if state is None:
+            return None
+        return self._run_fragment(state)
+
+
+class WatchHandler(BaseHTTPRequestHandler):
+    """Routes one runs directory's state; quiet except for errors."""
+
+    #: Injected by :func:`make_server`.
+    service: WatchService
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # per-request logging would drown the terminal at 1 Hz SSE
+
+    # -- response helpers ------------------------------------------------------
+    def _respond(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, document: Any, status: int = 200) -> None:
+        body = json.dumps(document, indent=1, sort_keys=True).encode("utf-8")
+        self._respond(body, "application/json; charset=utf-8", status)
+
+    def _page(self, text: Optional[str]) -> None:
+        if text is None:
+            self._not_found()
+            return
+        self._respond(text.encode("utf-8"), "text/html; charset=utf-8")
+
+    def _not_found(self) -> None:
+        self._json({"error": "not found", "path": self.path}, status=404)
+
+    def _sse(self, render: Callable[[], Optional[str]]) -> None:
+        """Push ``{"html": ...}`` data events whenever the state changes."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        service = self.service
+        last_stamp: Optional[tuple] = None
+        try:
+            while True:
+                stamp = service.change_stamp()
+                if stamp != last_stamp:
+                    last_stamp = stamp
+                    fragment = render()
+                    if fragment is None:
+                        return
+                    payload = json.dumps({"html": fragment})
+                    self.wfile.write(f"data: {payload}\n\n".encode("utf-8"))
+                    self.wfile.flush()
+                time.sleep(service.poll_seconds)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; the daemon thread just ends
+
+    # -- routing ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.service
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        try:
+            if path == "/":
+                self._page(service.fleet_page())
+            elif path == "/api/runs":
+                self._json(service.fleet_state())
+            elif path == "/api/bench":
+                self._json(service.bench_state())
+            elif path.startswith("/api/live/"):
+                state = service.live_state(path.removeprefix("/api/live/"))
+                self._json(state) if state is not None else self._not_found()
+            elif path.startswith("/run/"):
+                self._page(service.run_page(path.removeprefix("/run/")))
+            elif path == "/events":
+                self._sse(service.fleet_fragment)
+            elif path.startswith("/events/"):
+                run_id = path.removeprefix("/events/")
+                self._sse(lambda: service.run_fragment(run_id))
+            else:
+                self._not_found()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client disconnected mid-response
+
+
+def make_server(
+    service: WatchService, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+) -> ThreadingHTTPServer:
+    """Bind the watch service (``port=0`` picks a free port, for tests)."""
+    handler = type("BoundWatchHandler", (WatchHandler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True  # SSE pollers must not block shutdown
+    return server
+
+
+def serve(
+    runs_dir: str | Path = "runs",
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    poll_seconds: float = 1.0,
+    top_runs: int = 20,
+) -> None:
+    """Run ``repro watch`` until interrupted."""
+    service = WatchService(
+        runs_dir, poll_seconds=poll_seconds, top_runs=top_runs
+    )
+    server = make_server(service, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro watch: serving http://{bound_host}:{bound_port}/ "
+          f"over {service.runs_dir} (Ctrl-C to stop)")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -18,6 +18,7 @@ from typing import IO, TYPE_CHECKING, Callable, Optional
 from .attribution import LatencyLedger
 from .forensics import ForensicsConfig, ForensicsSession, HealthThresholds
 from .hostprof import HostTimeLedger
+from .live import LiveFeed
 from .metrics import EpochMetrics
 from .progress import ProgressReporter
 from .trace import ChromeTraceBuilder
@@ -95,6 +96,17 @@ class TelemetryConfig:
     health_thresholds: Optional[HealthThresholds] = None
     #: Stream for live health-anomaly flags (None: keep them in memory).
     health_stream: Optional[IO[str]] = None
+    #: Stream run lifecycle / progress / epoch / health events to a
+    #: schema-versioned JSONL live feed under ``live_dir`` for
+    #: ``repro watch`` (see :class:`~repro.telemetry.live.LiveFeed`).
+    live: bool = False
+    #: Directory live feeds are appended under.
+    live_dir: str | Path = "runs/live"
+    #: Cycles between live heartbeat events.
+    live_every: int = 1_000
+    #: Run id keying the feed file and joining it to the run registry
+    #: record (None: a fresh id is generated at attach time).
+    run_id: Optional[str] = None
 
 
 @dataclass
@@ -111,6 +123,10 @@ class TelemetrySession:
     #: Host wall-time ledger (set when ``host_time`` was requested; the
     #: harness installs it as ``engine.hostprof``).
     hostprof: Optional[HostTimeLedger] = None
+    #: Live JSONL feed for ``repro watch`` (set when ``live`` was
+    #: requested; the harness installs it as ``engine.livefeed`` so the
+    #: failure path can emit a terminal ``failure`` event).
+    live: Optional[LiveFeed] = None
     #: cProfile capture (set by the harness when profiling was requested).
     profile_report: Optional["ProfileReport"] = None
     #: Deprecated: rendered pstats text of ``profile_report``.  Kept for
@@ -166,6 +182,24 @@ class TelemetrySession:
             if config.health_thresholds is not None:
                 forensics_config.thresholds = config.health_thresholds
             session.forensics = ForensicsSession(network, forensics_config)
+        if config.live:
+            # Attached last on purpose: the bus dispatches in subscription
+            # order, so epoch metrics and health probes for a boundary
+            # cycle are already recorded when the feed's heartbeat drains
+            # them.
+            from .runstore import new_run_id
+
+            session.live = LiveFeed(
+                network,
+                run_id=config.run_id or new_run_id(),
+                directory=config.live_dir,
+                every=config.live_every,
+                total_cycles=total_cycles,
+                metrics=session.metrics,
+                monitor=(
+                    session.forensics.monitor if session.forensics is not None else None
+                ),
+            )
         return session
 
     def finalize(self, end_cycle: int) -> list[Path]:
@@ -186,4 +220,8 @@ class TelemetrySession:
                 self.written.append(self.ledger.write_csv(self.config.breakdown_csv))
         if self.forensics is not None:
             self.forensics.detach()
+        if self.live is not None:
+            # No-op when the engine's failure path already closed the
+            # feed with a terminal failure event.
+            self.written.append(self.live.finish(end_cycle))
         return self.written

@@ -572,3 +572,110 @@ def test_dashboard_cli_without_results_is_a_clean_error(tmp_path):
                 str(tmp_path / "missing"),
             ]
         )
+
+
+def test_simulate_live_writes_feed_and_joins_registry(tmp_path, capsys):
+    from repro.telemetry.live import read_feed
+    from repro.telemetry.runstore import RunStore
+
+    runs_dir = tmp_path / "runs"
+    code = main(
+        [
+            *SIM_ARGS,
+            "--seed",
+            "7",
+            "--live",
+            "--live-every",
+            "500",
+            "--runs-dir",
+            str(runs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    [record] = RunStore(runs_dir).load()
+    feed_path = runs_dir / "live" / f"{record.run_id}.jsonl"
+    assert feed_path.is_file()
+    assert record.artifacts["live"] == str(feed_path)
+    events = read_feed(feed_path)  # strict read: every event passes the schema
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "start" and kinds[-1] == "finish"
+    assert kinds.count("heartbeat") == 3  # 1500 cycles at --live-every 500
+    # The feed and the registry record share one run id: the fleet view join.
+    assert all(e["run_id"] == record.run_id for e in events)
+    assert events[0]["meta"]["seed"] == 7
+    assert f"live={feed_path}" in out
+
+
+def test_simulate_live_does_not_perturb_results(tmp_path, capsys):
+    """The feed observes the run; the simulation itself must not change."""
+
+    def stats_block(text):
+        return [
+            line
+            for line in text.splitlines()
+            if ":" in line and not line.startswith(("wrote ", "artifacts "))
+        ]
+
+    assert main([*SIM_ARGS, "--seed", "11"]) == 0
+    plain = stats_block(capsys.readouterr().out)
+    assert main(
+        [*SIM_ARGS, "--seed", "11", "--live", "--runs-dir", str(tmp_path)]
+    ) == 0
+    live = stats_block(capsys.readouterr().out)
+    assert plain == live
+
+
+def test_simulate_live_validates_interval(tmp_path):
+    with pytest.raises(SystemExit):
+        main([*SIM_ARGS, "--live", "--live-every", "0",
+              "--runs-dir", str(tmp_path)])
+
+
+def test_watch_once_prints_fleet_state(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    assert main([*SIM_ARGS, "--seed", "7", "--live", "--runs-dir",
+                 str(runs_dir)]) == 0
+    capsys.readouterr()
+    code = main(["watch", "--once", "--runs-dir", str(runs_dir)])
+    assert code == 0
+    state = json.loads(capsys.readouterr().out)
+    assert state["records"] == 1
+    assert state["skipped"] == 0
+    [status] = state["live"]
+    assert status["state"] == "finished"
+
+
+def test_watch_once_warns_about_skipped_lines(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    runs_dir.mkdir()
+    (runs_dir / "runs.jsonl").write_text("{corrupt\n")
+    assert main(["watch", "--once", "--runs-dir", str(runs_dir)]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)["skipped"] == 1
+    assert "skipped 1 unreadable registry line" in captured.err
+
+
+def test_dashboard_cli_warns_about_skipped_lines(tmp_path, capsys):
+    from .test_dashboard import write_fig11_csv
+
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs_dir = tmp_path / "runs"
+    runs_dir.mkdir()
+    (runs_dir / "runs.jsonl").write_text("{corrupt\n")
+    code = main(
+        [
+            "dashboard",
+            "--out",
+            str(tmp_path / "dash.html"),
+            "--results-dir",
+            str(results),
+            "--scale",
+            "tiny",
+            "--runs-dir",
+            str(runs_dir),
+        ]
+    )
+    assert code == 0
+    assert "skipped 1 unreadable registry line" in capsys.readouterr().err

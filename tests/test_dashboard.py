@@ -208,3 +208,18 @@ def test_dashboard_health_empty_state(tmp_path):
     page = build_dashboard(results, scale="tiny", runs_dir=runs)
     assert "no runs with health probes yet" in page
     assert "--health" in page
+
+
+def test_dashboard_warns_about_skipped_registry_lines(tmp_path):
+    results = tmp_path / "results"
+    write_fig11_csv(results)
+    runs = tmp_path / "runs"
+    store = RunStore(runs)
+    store.append(make_record(label="good"))
+    with store.path.open("a") as handle:
+        handle.write("{corrupt line\n")
+
+    page = build_dashboard(results, scale="tiny", runs_dir=runs)
+    assert "1 unreadable registry line skipped" in page
+    assert "good" in page  # the readable record still renders
+    assert "<script" not in page  # the static page stays script-free

@@ -1,0 +1,325 @@
+"""Tests for the live telemetry feed (``repro.telemetry.live``)."""
+
+import json
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.telemetry import (
+    LIVE_SCHEMA_VERSION,
+    LiveFeed,
+    LiveFeedError,
+    TelemetryConfig,
+    feed_status,
+    live_feed_path,
+    read_feed,
+    validate_live_event,
+)
+from repro.telemetry.forensics import HealthMonitor, HealthThresholds
+from repro.telemetry.live import ENVELOPE_FIELDS, EVENT_KINDS
+from repro.telemetry.metrics import EpochMetrics
+
+from .helpers import build_chain, run_cycles
+
+
+def make_feed(tmp_path, network, **kwargs):
+    kwargs.setdefault("run_id", "feedtest00001")
+    kwargs.setdefault("directory", tmp_path / "live")
+    return LiveFeed(network, **kwargs)
+
+
+# -- schema validation --------------------------------------------------------
+def test_validate_rejects_non_object():
+    with pytest.raises(LiveFeedError, match="not a JSON object"):
+        validate_live_event(["not", "a", "dict"])
+
+
+def test_validate_rejects_foreign_schema_version():
+    with pytest.raises(LiveFeedError, match="not supported"):
+        validate_live_event({"schema_version": LIVE_SCHEMA_VERSION + 1})
+
+
+def test_validate_rejects_missing_envelope_field():
+    event = dict.fromkeys(ENVELOPE_FIELDS, 0)
+    event["schema_version"] = LIVE_SCHEMA_VERSION
+    del event["seq"]
+    with pytest.raises(LiveFeedError, match="envelope field 'seq'"):
+        validate_live_event(event)
+
+
+def test_validate_rejects_unknown_kind():
+    event = dict.fromkeys(ENVELOPE_FIELDS, 0)
+    event["schema_version"] = LIVE_SCHEMA_VERSION
+    event["kind"] = "surprise"
+    with pytest.raises(LiveFeedError, match="unknown live event kind"):
+        validate_live_event(event)
+
+
+def test_validate_rejects_missing_payload_field():
+    event = dict.fromkeys(ENVELOPE_FIELDS, 0)
+    event["schema_version"] = LIVE_SCHEMA_VERSION
+    event["kind"] = "failure"
+    event.update(cycle=5, reason="deadlock", error="boom")  # no "bundle"
+    with pytest.raises(LiveFeedError, match="missing fields: bundle"):
+        validate_live_event(event)
+
+
+# -- write -> validate -> load round-trip -------------------------------------
+def test_feed_roundtrip_write_validate_load(tmp_path):
+    network, stats = build_chain(3)
+    feed = make_feed(tmp_path, network, every=10, total_cycles=40)
+    feed.start({"system": "chain", "workload": "unit"})
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 40)
+    path = feed.finish(40)
+    assert path == live_feed_path(tmp_path / "live", "feedtest00001")
+
+    # Every line is strict JSON and passes the schema check.
+    lines = path.read_text().splitlines()
+    for line in lines:
+        validate_live_event(json.loads(line))
+    events = read_feed(path)  # strict
+    assert len(events) == len(lines)
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert all(e["schema_version"] == LIVE_SCHEMA_VERSION for e in events)
+    assert all(e["run_id"] == "feedtest00001" for e in events)
+
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "start"
+    assert kinds[-1] == "finish"
+    assert kinds.count("heartbeat") == 4  # cycles 10, 20, 30, 40
+    assert events[0]["meta"]["total_cycles"] == 40  # injected by start()
+    assert events[-1]["stats"]["packets_delivered"] == stats.packets_delivered
+    assert feed.events_written == len(events)
+
+
+def test_read_feed_strict_raises_lenient_skips(tmp_path):
+    network, _stats = build_chain(2)
+    feed = make_feed(tmp_path, network, every=10)
+    feed.start({"system": "chain"})
+    path = feed.finish(0)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"truncated mid-line\n')
+    with pytest.raises(LiveFeedError, match="unreadable live event"):
+        read_feed(path)
+    assert len(read_feed(path, strict=False)) == 2  # start + finish survive
+
+
+def test_read_feed_missing_file_is_empty(tmp_path):
+    assert read_feed(tmp_path / "never-written.jsonl") == []
+
+
+def test_heartbeats_carry_progress_and_non_finite_floats_become_null(tmp_path):
+    network, _stats = build_chain(2)
+    feed = make_feed(tmp_path, network, every=10, total_cycles=20)
+    feed.start({"system": "chain"})
+    run_cycles(network, 20)  # idle: delivered_fraction is 0/0 -> nan
+    path = feed.finish(20)
+    beats = [e for e in read_feed(path) if e["kind"] == "heartbeat"]
+    assert [b["cycle"] for b in beats] == [10, 20]
+    assert beats[-1]["fraction"] == 1.0
+    assert beats[-1]["delivered_fraction"] is None  # nan sanitised to null
+    assert all(b["cps"] is None or b["cps"] > 0 for b in beats)
+
+
+# -- epoch / health draining ---------------------------------------------------
+def test_heartbeat_drains_epochs_and_health_without_duplicates(tmp_path):
+    network, _stats = build_chain(3)
+    metrics = EpochMetrics(network, epoch_length=10)
+    monitor = HealthMonitor(network, every=10)
+    feed = make_feed(
+        tmp_path, network, every=20, total_cycles=60,
+        metrics=metrics, monitor=monitor,
+    )
+    feed.start({"system": "chain"})
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 60)
+    metrics.finish(60)
+    path = feed.finish(60)
+    events = read_feed(path)
+    epochs = [e["epoch"] for e in events if e["kind"] == "epoch"]
+    probes = [e["probe"] for e in events if e["kind"] == "health"]
+    # Every closed epoch and probe forwarded exactly once, in order.
+    assert [e["index"] for e in epochs] == [s.index for s in metrics.samples]
+    assert [p["cycle"] for p in probes] == [p.cycle for p in monitor.probes]
+    # Draining happens at heartbeats: epochs interleave with the beats.
+    kinds = [e["kind"] for e in events]
+    assert kinds.index("epoch") > kinds.index("heartbeat")
+
+
+def test_anomalies_are_streamed(tmp_path):
+    network, _stats = build_chain(2)
+    monitor = HealthMonitor(
+        network, every=10,
+        thresholds=HealthThresholds(max_packet_age=5),
+    )
+    feed = make_feed(tmp_path, network, every=10, monitor=monitor)
+    feed.start({"system": "chain"})
+    network.inject(Packet(0, 1, 64, 0))  # long packet: ages past 5 cycles
+    run_cycles(network, 30)
+    path = feed.finish(30)
+    events = read_feed(path)
+    anomalies = [e for e in events if e["kind"] == "anomaly"]
+    assert anomalies, "expected the aged packet to raise an anomaly"
+    assert anomalies[0]["anomaly_kind"] == "packet-age"
+    assert "cycles old" in anomalies[0]["detail"]
+    status = feed_status(events)
+    assert "packet-age" in [a["kind"] for a in status["anomalies"]]
+
+
+# -- lifecycle ----------------------------------------------------------------
+def test_feed_validates_interval(tmp_path):
+    network, _stats = build_chain(2)
+    with pytest.raises(ValueError, match="every"):
+        make_feed(tmp_path, network, every=0)
+
+
+def test_finish_is_idempotent_and_detaches(tmp_path):
+    network, _stats = build_chain(2)
+    feed = make_feed(tmp_path, network, every=10)
+    feed.start({"system": "chain"})
+    path = feed.finish(10)
+    count = len(read_feed(path))
+    assert feed.finish(10) == path  # second call: no-op
+    assert len(read_feed(path)) == count
+    assert network.telemetry.cycle_end is None  # bus back to the fast path
+    feed.close()  # close after finish: also a no-op
+
+
+def test_failure_event_closes_feed_and_blocks_finish(tmp_path):
+    network, _stats = build_chain(2)
+    feed = make_feed(tmp_path, network, every=10, total_cycles=100)
+    feed.start({"system": "chain"})
+    run_cycles(network, 10)
+    path = feed.fail("deadlock", 17, error="Boom: wedged", bundle="B.json")
+    events = read_feed(path)
+    assert events[-1]["kind"] == "failure"
+    assert events[-1]["reason"] == "deadlock"
+    assert events[-1]["bundle"] == "B.json"
+    feed.finish(17)  # run already failed: must not append a finish
+    assert [e["kind"] for e in read_feed(path)] == [e["kind"] for e in events]
+    assert network.telemetry.cycle_end is None
+
+
+# -- feed_status folding ------------------------------------------------------
+def test_feed_status_states(tmp_path):
+    network, _stats = build_chain(2)
+    feed = make_feed(tmp_path, network, every=10, total_cycles=40)
+    feed.start({"system": "chain", "workload": "unit"})
+    run_cycles(network, 20)
+
+    running = feed_status(read_feed(feed.path), now=0.0)
+    assert running["state"] == "running"
+    assert running["run_id"] == "feedtest00001"
+    assert running["meta"]["system"] == "chain"
+    assert running["cycle"] == 20
+    assert running["total_cycles"] == 40
+    assert running["fraction"] == pytest.approx(0.5)
+
+    run_cycles(network, 20, start=20)
+    feed.finish(40)
+    finished = feed_status(read_feed(feed.path))
+    assert finished["state"] == "finished"
+    assert finished["eta_seconds"] == 0.0
+    assert finished["fraction"] == 1.0
+    assert finished["wall_seconds"] is not None
+    assert finished["age_seconds"] >= 0.0
+
+
+def test_feed_status_empty_feed_is_pending():
+    status = feed_status([])
+    assert status["state"] == "pending"
+    assert status["cycle"] == 0
+    assert status["age_seconds"] is None
+
+
+# -- end-to-end through the session -------------------------------------------
+def test_run_synthetic_live_session(tmp_path, small_grid):
+    from repro.sim.config import SimConfig
+    from repro.sim.experiment import run_synthetic
+    from repro.topology.system import build_system
+
+    spec = build_system("hetero_phy_torus", small_grid, SimConfig(
+        sim_cycles=2_000, warmup_cycles=200
+    ))
+    config = TelemetryConfig(
+        live=True,
+        live_dir=tmp_path / "live",
+        live_every=500,
+        run_id="sessiontest01",
+        epoch_length=500,
+        health=True,
+        health_every=500,
+    )
+    result = run_synthetic(spec, "uniform", 0.05, seed=7, telemetry=config)
+    session = result.telemetry
+    assert session is not None and session.live is not None
+    path = tmp_path / "live" / "sessiontest01.jsonl"
+    assert session.live.path == path
+    assert path in session.written
+    events = read_feed(path)
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "start" and kinds[-1] == "finish"
+    assert "heartbeat" in kinds and "epoch" in kinds and "health" in kinds
+    meta = events[0]["meta"]
+    assert meta["system"] == spec.name
+    assert meta["workload"] == "uniform@0.05"
+    assert meta["seed"] == 7
+    assert meta["total_cycles"] == 2_000
+    assert len(meta["config_hash"]) == 12
+    status = feed_status(events)
+    assert status["state"] == "finished"
+    assert status["stats"]["packets_delivered"] == result.stats.packets_delivered
+    # Finalize detached the feed with everything else: fast path restored.
+    assert session.network.telemetry.cycle_end is None
+
+
+def test_engine_failure_streams_failure_event(tmp_path):
+    """A wedged engine run ends the feed with a bundle-pointing failure."""
+    from repro.sim.build import build_network
+    from repro.sim.config import SimConfig
+    from repro.sim.engine import Engine
+    from repro.sim.stats import DeadlockError, Stats
+    from repro.telemetry.forensics import ForensicsConfig, ForensicsSession
+    from repro.topology.grid import ChipletGrid
+    from repro.topology.system import build_system
+    from repro.traffic import SyntheticWorkload
+    from repro.traffic.patterns import make_pattern
+
+    from .test_forensics import ring_routing
+
+    grid = ChipletGrid(2, 1, 2, 2)
+    config = SimConfig(sim_cycles=4_000, warmup_cycles=0)
+    spec = build_system("serial_torus", grid, config)
+    stats = Stats()
+    network = build_network(spec, stats, routing=ring_routing)
+    feed = make_feed(tmp_path, network, every=100, total_cycles=4_000)
+    feed.start({"system": spec.name, "workload": "wedge"})
+    forensics = ForensicsSession(
+        network, ForensicsConfig(bundle_dir=tmp_path / "bundles")
+    )
+    pattern = make_pattern("uniform", grid.n_nodes)
+    workload = SyntheticWorkload(
+        pattern, grid.n_nodes, 1.0, config.packet_length, seed=3
+    )
+    engine = Engine(network, workload, stats, deadlock_threshold=300)
+    engine.forensics = forensics
+    engine.livefeed = feed
+    with pytest.raises(DeadlockError):
+        engine.run(4_000)
+    events = read_feed(feed.path)
+    failure = events[-1]
+    assert failure["kind"] == "failure"
+    assert failure["reason"] == "deadlock"
+    assert failure["bundle"] and "BUNDLE_deadlock" in failure["bundle"]
+    assert "DeadlockError" in failure["error"]
+    status = feed_status(events)
+    assert status["state"] == "failed"
+    assert status["bundle"] == failure["bundle"]
+
+
+def test_event_kinds_registry_matches_writer():
+    """The schema table names exactly the kinds the writer emits."""
+    assert set(EVENT_KINDS) == {
+        "start", "heartbeat", "epoch", "health", "anomaly", "finish", "failure",
+    }

@@ -198,3 +198,22 @@ def test_record_from_result_captures_ledger_breakdown(tmp_path):
     store = RunStore(tmp_path)
     store.append(record)
     assert store.load() == [record]
+
+
+def test_lenient_load_counts_skipped_lines(tmp_path):
+    store = RunStore(tmp_path)
+    store.append(make_record(label="good"))
+    foreign = make_record().to_dict()
+    foreign["schema_version"] = RUN_SCHEMA_VERSION + 1
+    with store.path.open("a") as handle:
+        handle.write("{not json\n")
+        handle.write(json.dumps(foreign) + "\n")
+    store.append(make_record(label="after"))
+
+    assert store.skipped == 0  # untouched until a lenient read runs
+    records = store.load(strict=False)
+    assert [r.label for r in records] == ["good", "after"]
+    assert store.skipped == 2  # the corrupt line and the foreign schema
+    # The counter is per-read, not cumulative across reads.
+    store.load(strict=False)
+    assert store.skipped == 2

@@ -469,3 +469,103 @@ def test_engine_run_profiled_reports():
     from repro.telemetry.hostprof import validate_speedscope
 
     validate_speedscope(report.speedscope(name="unit"))
+
+
+# -- epoch metrics edge cases -------------------------------------------------
+def test_epoch_metrics_zero_cycle_run_has_no_samples():
+    network, _stats = build_chain(2)
+    metrics = EpochMetrics(network, epoch_length=10)
+    metrics.finish(0)  # nothing ever ran
+    assert metrics.epochs(include_warmup=True) == []
+    assert metrics.totals()["epochs"] == 0
+    assert network.telemetry.cycle_end is None  # detached all the same
+
+
+def test_epoch_metrics_finish_on_boundary_adds_no_empty_epoch():
+    network, _stats = build_chain(2)
+    metrics = EpochMetrics(network, epoch_length=10)
+    run_cycles(network, 20)  # the run ends exactly on an epoch boundary
+    metrics.finish(20)
+    samples = metrics.epochs(include_warmup=True)
+    assert [(s.start, s.end) for s in samples] == [(0, 10), (10, 20)]
+
+
+def test_epoch_metrics_detach_is_idempotent():
+    network, _stats = build_chain(2)
+    metrics = EpochMetrics(network, epoch_length=10)
+    run_cycles(network, 15)
+    metrics.detach()
+    metrics.detach()  # second detach: no-op
+    metrics.finish(15)  # finish after detach must not append a partial epoch
+    assert [(s.start, s.end) for s in metrics.epochs()] == [(0, 10)]
+    assert network.telemetry.cycle_end is None
+    assert network.telemetry.credit_stall is None
+
+
+# -- ETA estimation -----------------------------------------------------------
+def test_eta_estimator_smooths_and_converges():
+    from repro.telemetry import EtaEstimator
+
+    eta = EtaEstimator(1_000, alpha=0.5)
+    assert eta.eta_seconds() is None  # no speed estimate yet
+    eta._last_wall -= 1.0  # pretend 1 s elapsed: 100 cyc/s
+    cps = eta.update(100)
+    assert cps == pytest.approx(100.0, rel=0.1)
+    remaining = eta.eta_seconds(100)
+    assert remaining == pytest.approx(900 / cps)
+    assert eta.eta_seconds(2_000) == 0.0  # past the horizon: clamps at zero
+    assert eta.wall_seconds >= 0.0
+
+
+def test_eta_estimator_without_horizon_has_no_eta():
+    from repro.telemetry import EtaEstimator
+
+    eta = EtaEstimator(None)
+    eta._last_wall -= 1.0
+    eta.update(500)
+    assert eta.eta_seconds() is None
+
+
+def test_eta_estimator_ignores_non_advancing_updates():
+    from repro.telemetry import EtaEstimator
+
+    eta = EtaEstimator(100)
+    eta._last_wall -= 1.0
+    first = eta.update(50)
+    again = eta.update(50)  # same cycle: the estimate must not move
+    assert again == first
+
+
+def test_eta_estimator_validates_alpha():
+    from repro.telemetry import EtaEstimator
+
+    with pytest.raises(ValueError, match="alpha"):
+        EtaEstimator(100, alpha=0.0)
+
+
+def test_format_eta_renderings():
+    from repro.telemetry import format_eta
+
+    assert format_eta(3_800) == "1:03:20"
+    assert format_eta(242) == "4:02"
+    assert format_eta(0) == "0:00"
+    assert format_eta(None) == "n/a"
+    assert format_eta(float("nan")) == "n/a"
+    assert format_eta(-1) == "n/a"
+
+
+def test_progress_line_shows_eta_only_with_horizon():
+    network, _stats = build_chain(2)
+    with_horizon = io.StringIO()
+    reporter = ProgressReporter(
+        network, every_cycles=10, stream=with_horizon, total_cycles=20
+    )
+    run_cycles(network, 20)
+    reporter.close()
+    assert "eta" in with_horizon.getvalue()
+
+    without = io.StringIO()
+    reporter = ProgressReporter(network, every_cycles=10, stream=without)
+    run_cycles(network, 20, start=20)
+    reporter.close()
+    assert "eta" not in without.getvalue()

@@ -1,0 +1,224 @@
+"""Tests for the fleet observability service (``repro.telemetry.server``)."""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import LIVE_SCHEMA_VERSION
+from repro.telemetry.runstore import RunStore
+from repro.telemetry.server import STALE_AFTER_SECONDS, WatchService, make_server
+
+from .helpers import build_chain, run_cycles
+from .test_runstore import make_record
+
+
+def seed_runs_dir(tmp_path, *, finish=True, fail=False):
+    """A runs directory with one registry record and one live feed."""
+    from repro.telemetry.live import LiveFeed
+
+    runs_dir = tmp_path / "runs"
+    store = RunStore(runs_dir)
+    record = make_record(run_id="watchrun00001")
+    store.append(record)
+    network, _stats = build_chain(3)
+    feed = LiveFeed(
+        network,
+        run_id="watchrun00001",
+        directory=runs_dir / "live",
+        every=10,
+        total_cycles=40,
+    )
+    feed.start({"system": "chain", "workload": "unit", "policy": "balanced"})
+    run_cycles(network, 20)
+    if fail:
+        feed.fail("deadlock", 20, error="DeadlockError: wedged", bundle="B.json")
+    elif finish:
+        run_cycles(network, 20, start=20)
+        feed.finish(40)
+    else:
+        feed.close()  # leave the feed mid-run: an in-flight view
+    return runs_dir
+
+
+# -- state assembly -----------------------------------------------------------
+def test_fleet_state_joins_registry_and_feeds(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    state = WatchService(runs_dir).fleet_state()
+    assert state["schema_version"] == LIVE_SCHEMA_VERSION
+    assert state["records"] == 1
+    assert state["skipped"] == 0
+    assert state["in_flight"] == []  # the run finished
+    [status] = state["live"]
+    assert status["run_id"] == "watchrun00001"
+    assert status["state"] == "finished"
+    assert state["failures"] == []
+    [recent] = state["recent"]
+    assert recent["run_id"] == "watchrun00001"
+
+
+def test_fleet_state_counts_skipped_registry_lines(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    with (runs_dir / "runs.jsonl").open("a", encoding="utf-8") as handle:
+        handle.write("{corrupt\n")
+    state = WatchService(runs_dir).fleet_state()
+    assert state["records"] == 1
+    assert state["skipped"] == 1
+
+
+def test_fleet_state_tracks_in_flight_and_failures(tmp_path):
+    running_dir = seed_runs_dir(tmp_path / "a", finish=False)
+    state = WatchService(running_dir).fleet_state()
+    assert state["in_flight"] == ["watchrun00001"]
+    [status] = state["live"]
+    assert status["state"] == "running"
+    assert status["age_seconds"] < STALE_AFTER_SECONDS
+
+    failed_dir = seed_runs_dir(tmp_path / "b", fail=True)
+    state = WatchService(failed_dir).fleet_state()
+    assert state["in_flight"] == []
+    [failure] = state["failures"]
+    assert failure["reason"] == "deadlock"
+    assert failure["bundle"] == "B.json"
+
+
+def test_live_state_returns_events_or_none(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    service = WatchService(runs_dir)
+    state = service.live_state("watchrun00001")
+    assert state["status"]["state"] == "finished"
+    assert state["events"][0]["kind"] == "start"
+    assert service.live_state("no-such-run") is None
+
+
+def test_bench_state_extracts_trajectory(tmp_path):
+    runs_dir = tmp_path / "runs"
+    store = RunStore(runs_dir)
+    store.append(make_record())  # a simulate record: ignored by bench view
+    bench = {
+        "uniform_torus": {
+            "cps_median": 41_000.0,
+            "host": {"shares": {"router": 0.6, "link": 0.3}},
+        }
+    }
+    store.append(make_record(kind="bench", bench=bench))
+    state = WatchService(runs_dir).bench_state()
+    assert state["bench_records"] == 1
+    [point] = state["cases"]["uniform_torus"]
+    assert point["cps_median"] == 41_000.0
+    assert point["host_shares"]["router"] == 0.6
+
+
+def test_change_stamp_moves_with_the_files(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    service = WatchService(runs_dir)
+    first = service.change_stamp()
+    assert first == service.change_stamp()  # stable when nothing changed
+    store = RunStore(runs_dir)
+    store.append(make_record(label="another"))
+    assert service.change_stamp() != first
+
+
+# -- page rendering -----------------------------------------------------------
+def test_fleet_page_renders_sections_and_sse_hook(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path, finish=False)
+    page = WatchService(runs_dir).fleet_page()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "Runs in flight" in page
+    assert "watchrun00001" in page
+    assert "<svg" in page  # the progress bar
+    assert "EventSource" in page and "/events" in page
+
+
+def test_fleet_page_warns_about_skipped_registry_lines(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    (runs_dir / "runs.jsonl").open("a").write("{corrupt\n")
+    fragment = WatchService(runs_dir).fleet_fragment()
+    assert "unreadable registry line" in fragment
+
+
+def test_run_page_renders_epochs_and_failure_banner(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path, fail=True)
+    service = WatchService(runs_dir)
+    page = service.run_page("watchrun00001")
+    assert "failed at cycle" in page
+    assert "deadlock" in page
+    assert "B.json" in page
+    assert service.run_page("no-such-run") is None
+    assert service.run_fragment("no-such-run") is None
+
+
+# -- the HTTP service ---------------------------------------------------------
+@pytest.fixture
+def watch_server(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    service = WatchService(runs_dir, poll_seconds=0.05)
+    server = make_server(service, port=0)  # free port
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(f"{base}{path}", timeout=10) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+def test_http_json_endpoints(watch_server):
+    status, content_type, body = fetch(watch_server, "/api/runs")
+    assert status == 200
+    assert content_type == "application/json; charset=utf-8"
+    document = json.loads(body)
+    assert document["records"] == 1
+
+    status, _, body = fetch(watch_server, "/api/live/watchrun00001")
+    assert status == 200
+    assert json.loads(body)["status"]["state"] == "finished"
+
+    status, _, body = fetch(watch_server, "/api/bench")
+    assert status == 200
+    assert json.loads(body)["bench_records"] == 0
+
+
+def test_http_pages(watch_server):
+    status, content_type, body = fetch(watch_server, "/")
+    assert status == 200
+    assert content_type == "text/html; charset=utf-8"
+    assert b"repro watch" in body
+
+    status, _, body = fetch(watch_server, "/run/watchrun00001")
+    assert status == 200
+    assert b"finished at cycle" in body
+
+
+def test_http_unknown_paths_return_404(watch_server):
+    for path in ("/api/live/nope", "/run/nope", "/nope"):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(watch_server, path)
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"] == "not found"
+
+
+def test_sse_stream_pushes_rendered_fragment(watch_server):
+    host, port = watch_server.removeprefix("http://").split(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=10)
+    try:
+        connection.request("GET", "/events")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == "text/event-stream"
+        line = response.fp.readline().decode("utf-8")
+        assert line.startswith("data: ")
+        payload = json.loads(line[len("data: "):])
+        assert "Runs in flight" in payload["html"]
+    finally:
+        connection.close()
