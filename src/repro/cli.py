@@ -14,6 +14,11 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro prove --family serial_torus --mode wormhole --max-states 8000
     repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
     repro compare BENCH_0.json BENCH_1.json --strict
+    repro simulate --digest            # record the run's event-digest chain
+    repro golden record --scale tiny   # golden traces -> benchmarks/goldens/
+    repro golden check                 # re-simulate goldens, verify digests
+    repro diff "sim:family=hetero_phy_torus,chiplets=2x2,nodes=4x4,rate=0.15" \
+               "sim:family=hetero_phy_torus,chiplets=2x2,nodes=4x4,rate=0.15,perturb=900"
     repro dashboard --out dashboard.html
     repro simulate --live              # stream a live feed while running
     repro watch --port 8631            # live fleet dashboard over runs/
@@ -185,7 +190,7 @@ def _cmd_simulate(args) -> int:
     if args.live and args.live_every < 1:
         raise SystemExit("--live-every must be >= 1")
     run_id = None
-    if epoch_wanted or forensics_wanted:
+    if epoch_wanted or forensics_wanted or args.digest:
         from repro.telemetry import TelemetryConfig
 
         if args.live:
@@ -218,6 +223,7 @@ def _cmd_simulate(args) -> int:
             live_dir=Path(args.runs_dir) / "live",
             live_every=args.live_every,
             run_id=run_id,
+            digest=args.digest,
         )
     try:
         result = run_synthetic(
@@ -242,6 +248,12 @@ def _cmd_simulate(args) -> int:
     par, ser = result.phy_split
     if par or ser:
         print(f"hetero-PHY flit split     : parallel {par}, serial {ser}")
+    if args.digest and result.telemetry is not None:
+        collector = result.telemetry.digest
+        print(
+            f"digest   : {collector.final} "
+            f"({collector.events_total} events, compare with `repro diff`)"
+        )
     if breakdown_wanted and result.telemetry is not None:
         from repro.telemetry.attribution import render_breakdown
 
@@ -470,6 +482,77 @@ def _cmd_compare(args) -> int:
                 names = ", ".join(sorted({f"{v.case}:{v.metric}" for v in gated}))
                 print(f"gated regression(s): {names}", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.telemetry.diff import DiffError, diff_runs, load_diffable
+    from repro.telemetry.digest import DigestError
+
+    try:
+        a = load_diffable(args.a)
+        b = load_diffable(args.b)
+        report = diff_runs(
+            a, b, localize=not args.no_localize, context=args.context
+        )
+    except (DiffError, DigestError, OSError, RuntimeError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report.render())
+    return report.exit_code
+
+
+def _cmd_golden(args) -> int:
+    from repro.telemetry.bench import CASES
+    from repro.telemetry.diff import check_golden_file, record_golden_case
+    from repro.telemetry.digest import DigestError, golden_files
+
+    by_name = {case.name: case for case in CASES}
+    if args.action == "record":
+        names = args.case or list(by_name)
+        unknown = [name for name in names if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"unknown case(s): {', '.join(unknown)}; known: {', '.join(by_name)}"
+            )
+        from repro.telemetry.runstore import git_revision, utc_now_iso
+
+        git_rev = git_revision()
+        created = utc_now_iso()
+        for name in names:
+            path = record_golden_case(
+                by_name[name],
+                scale=args.scale,
+                seed=args.seed,
+                directory=args.dir,
+                git_rev=git_rev,
+                created=created,
+            )
+            print(f"wrote {path}")
+        return 0
+    paths = [Path(p) for p in args.golden] or golden_files(args.dir)
+    if not paths:
+        raise SystemExit(
+            f"no golden traces under {args.dir}/ — record them with "
+            "`repro golden record`"
+        )
+    failed = 0
+    for path in paths:
+        try:
+            ok, message, report = check_golden_file(
+                path, localize=not args.no_localize
+            )
+        except (DigestError, OSError, ValueError, RuntimeError) as exc:
+            print(f"{path}: ERROR: {exc}")
+            failed += 1
+            continue
+        print(message)
+        if not ok:
+            failed += 1
+            if report is not None:
+                print(report.render())
+    if failed:
+        print(f"{failed}/{len(paths)} golden trace(s) FAILED")
+        return 1
     return 0
 
 
@@ -868,6 +951,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="CYCLES",
         help="live-feed heartbeat period in cycles (default: 1000)",
     )
+    sim_p.add_argument(
+        "--digest",
+        action="store_true",
+        help="fold every telemetry event into a deterministic chained "
+        "hash; the digest block lands on the run record and two runs "
+        "can be compared with `repro diff`",
+    )
     add_record_args(sim_p)
     sim_p.set_defaults(func=_cmd_simulate)
 
@@ -1013,6 +1103,68 @@ def main(argv: list[str] | None = None) -> int:
         help="IQR multiplier of the noise threshold (default: 1.5)",
     )
     cmp_p.set_defaults(func=_cmd_compare)
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="differential oracle: compare two runs' event digests and "
+        "localize the first divergent cycle",
+    )
+    diff_p.add_argument(
+        "a",
+        help="baseline: GOLDEN_*.json, run-record JSON, runs.jsonl"
+        "[#run_id], or a 'sim:family=...,rate=...' re-simulation spec",
+    )
+    diff_p.add_argument("b", help="candidate (same accepted forms)")
+    diff_p.add_argument(
+        "--no-localize",
+        action="store_true",
+        help="stop at the summary/census/checkpoint granularities; do not "
+        "re-simulate to name the exact divergent cycle",
+    )
+    diff_p.add_argument(
+        "--context",
+        type=int,
+        default=12,
+        metavar="N",
+        help="flight-recorder events to print at the divergent cycle "
+        "(default: 12)",
+    )
+    diff_p.set_defaults(func=_cmd_diff)
+
+    golden_p = sub.add_parser(
+        "golden",
+        help="record/check golden digest traces for the canonical bench "
+        "cases (benchmarks/goldens/)",
+    )
+    golden_p.add_argument("action", choices=("record", "check"))
+    golden_p.add_argument(
+        "golden",
+        nargs="*",
+        help="golden files to check (default: every GOLDEN_*.json under "
+        "--dir)",
+    )
+    golden_p.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="with record: restrict to one bench case (repeatable)",
+    )
+    golden_p.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="tiny"
+    )
+    golden_p.add_argument("--seed", type=int, default=1)
+    golden_p.add_argument(
+        "--dir",
+        default="benchmarks/goldens",
+        help="golden-trace directory (default: benchmarks/goldens/)",
+    )
+    golden_p.add_argument(
+        "--no-localize",
+        action="store_true",
+        help="with check: report mismatch without localizing the cycle",
+    )
+    golden_p.set_defaults(func=_cmd_golden)
 
     dash_p = sub.add_parser(
         "dashboard",

@@ -68,6 +68,13 @@ class RunResult:
         return self.telemetry.ledger.summary()
 
     @property
+    def digest(self) -> Optional[dict]:
+        """Digest block (``RunDigest.record_summary``; None unless collected)."""
+        if self.telemetry is None or self.telemetry.digest is None:
+            return None
+        return self.telemetry.digest.record_summary()
+
+    @property
     def host_phases(self) -> Optional[dict]:
         """Compact host-time attribution (None unless ``host_time`` ran)."""
         if self.telemetry is None or self.telemetry.hostprof is None:
@@ -144,6 +151,23 @@ def run_synthetic(
         engine.forensics = session.forensics
         engine.hostprof = session.hostprof
         engine.livefeed = session.live
+        if session.digest is not None:
+            grid = spec.grid
+            session.digest.meta = {
+                "system": spec.name,
+                "family": spec.family,
+                "chiplets": [grid.chiplets_x, grid.chiplets_y],
+                "nodes": [grid.nodes_x, grid.nodes_y],
+                "pattern": pattern,
+                "rate": rate,
+                "seed": seed,
+                "cycles": cycles,
+                "warmup": warmup,
+                "policy": resolved_policy,
+                "config_hash": system_digest(
+                    spec, workload=workload_name, policy=resolved_policy
+                ),
+            }
         if session.live is not None:
             session.live.start(
                 {
@@ -214,6 +238,23 @@ def run_trace(
         engine.forensics = session.forensics
         engine.hostprof = session.hostprof
         engine.livefeed = session.live
+        if session.digest is not None:
+            # Trace replays carry no synthetic-workload descriptor, so the
+            # meta is not re-simulable; ``repro diff`` then localizes only
+            # to checkpoint granularity.
+            grid = spec.grid
+            session.digest.meta = {
+                "system": spec.name,
+                "family": spec.family,
+                "chiplets": [grid.chiplets_x, grid.chiplets_y],
+                "nodes": [grid.nodes_x, grid.nodes_y],
+                "workload": trace.name,
+                "warmup": warmup,
+                "policy": resolved_policy,
+                "config_hash": system_digest(
+                    spec, workload=trace.name, policy=resolved_policy
+                ),
+            }
         if session.live is not None:
             session.live.start(
                 {

@@ -26,6 +26,11 @@
 * :class:`TelemetryConfig` / :class:`TelemetrySession` — one-call
   attachment used by ``run_synthetic`` / ``run_trace`` and the
   ``repro simulate`` CLI (``repro.telemetry.session``);
+* :class:`RunDigest` — streaming platform-stable chained hash of every
+  bus event, with checkpoint chains, golden-trace files and the
+  three-granularity differential oracle behind ``repro diff`` /
+  ``repro golden`` (``repro.telemetry.digest`` /
+  ``repro.telemetry.diff``);
 * :class:`HostTimeLedger` — host wall-time attribution across engine /
   router / link / PHY phases plus cProfile→speedscope folding, driven by
   ``repro profile`` (``repro.telemetry.hostprof``);
@@ -52,6 +57,31 @@ from .attribution import (
 from .bench import BENCH_SCHEMA_VERSION, EventCounters, run_bench, write_bench
 from .bus import EVENT_NAMES, NULL_BUS, TelemetryBus
 from .compare import MetricVerdict, compare_bench, compare_records, compare_paths
+from .diff import (
+    DiffError,
+    DiffReport,
+    Diffable,
+    check_golden_file,
+    diff_runs,
+    load_diffable,
+    parse_sim_spec,
+    record_golden_case,
+    resimulate,
+)
+from .digest import (
+    DIGEST_ALGO,
+    DIGEST_SCHEMA_VERSION,
+    GOLDEN_SCHEMA_VERSION,
+    DigestError,
+    RunDigest,
+    digests_comparable,
+    golden_files,
+    golden_path,
+    load_golden,
+    make_golden,
+    validate_digest_block,
+    write_golden,
+)
 from .forensics import (
     FORENSICS_SCHEMA_VERSION,
     FlightRecorder,
@@ -97,7 +127,14 @@ from .trace import ChromeTraceBuilder
 __all__ = [
     "AttributionError",
     "BENCH_SCHEMA_VERSION",
+    "DIGEST_ALGO",
+    "DIGEST_SCHEMA_VERSION",
+    "DiffError",
+    "DiffReport",
+    "Diffable",
+    "DigestError",
     "EVENT_NAMES",
+    "GOLDEN_SCHEMA_VERSION",
     "FORENSICS_SCHEMA_VERSION",
     "FlightRecorder",
     "ForensicsConfig",
@@ -122,6 +159,7 @@ __all__ = [
     "EventCounters",
     "MetricVerdict",
     "ProgressReporter",
+    "RunDigest",
     "RunRecord",
     "RunStore",
     "RunStoreError",
@@ -129,10 +167,23 @@ __all__ = [
     "TelemetrySession",
     "ChromeTraceBuilder",
     "capture_bundle",
+    "check_golden_file",
     "compare_bench",
     "compare_paths",
     "compare_records",
+    "diff_runs",
+    "digests_comparable",
     "feed_status",
+    "golden_files",
+    "golden_path",
+    "load_diffable",
+    "load_golden",
+    "make_golden",
+    "parse_sim_spec",
+    "record_golden_case",
+    "resimulate",
+    "validate_digest_block",
+    "write_golden",
     "format_eta",
     "live_feed_path",
     "load_bundle",

@@ -142,10 +142,26 @@ def _run_case(
     cps = [cycles / wall for wall in walls if wall > 0]
 
     # One extra instrumented repetition for the hot-path event census
-    # (untimed: the counters themselves cost per-event dispatches).
+    # (untimed: the counters themselves cost per-event dispatches).  The
+    # run digest rides the same repetition, so BENCH documents carry a
+    # reproducibility fingerprint without adding a timed subscriber.
+    from .digest import RunDigest
+
     stats = Stats(measure_from=warmup)
     network = build_network(spec, stats)
     counters = EventCounters(network)
+    digest = RunDigest(network)
+    digest.meta = {
+        "system": spec.name,
+        "family": case.family,
+        "chiplets": list(case.chiplets),
+        "nodes": list(case.nodes),
+        "pattern": case.pattern,
+        "rate": case.rate,
+        "seed": seed,
+        "cycles": cycles,
+        "warmup": warmup,
+    }
     workload = SyntheticWorkload(
         make_pattern(case.pattern, grid.n_nodes),
         grid.n_nodes,
@@ -156,6 +172,7 @@ def _run_case(
     )
     Engine(network, workload, stats).run(cycles)
     counters.detach()
+    digest.detach()
 
     # One more untimed repetition with the host-time ledger attached: the
     # per-phase wall-time shares that tell `repro compare` *which* pipeline
@@ -186,6 +203,7 @@ def _run_case(
         "wall_s": {"median": wall_median, "iqr": wall_iqr, "samples": walls},
         "cps": {"median": cps_median, "iqr": cps_iqr, "samples": cps},
         "events": counters.nonzero(),
+        "digest": digest.summary(),
         "host": host,
         "stats": {
             "avg_latency": result.avg_latency,

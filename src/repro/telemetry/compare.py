@@ -159,7 +159,41 @@ def compare_bench(
                 )
             )
         verdicts.extend(_compare_host(name, ca.get("host"), cb.get("host")))
+        verdicts.append(_compare_digest(name, ca.get("digest"), cb.get("digest")))
     return verdicts
+
+
+def _compare_digest(
+    case: str, da: Optional[dict], db: Optional[dict]
+) -> MetricVerdict:
+    """One ``digest.match`` verdict between two ``digest`` blocks.
+
+    Older bench files (pre run-digest) carry no ``digest`` block — the
+    verdict then reads ``n/a`` rather than failing the compare, as do
+    blocks an algorithm or horizon change made incomparable.  Matching
+    final chains score 1/1 (noise); a mismatch scores 1/0 and reads
+    ``regressed`` — the simulated behavior itself changed, which is what
+    ``repro diff`` then localizes.
+    """
+    comparable = (
+        isinstance(da, dict)
+        and isinstance(db, dict)
+        and da.get("final")
+        and db.get("final")
+    )
+    if comparable:
+        from .digest import digests_comparable
+
+        comparable = digests_comparable(da, db) is None  # type: ignore[arg-type]
+    if not comparable:
+        a = b = math.nan
+    else:
+        assert isinstance(da, dict) and isinstance(db, dict)
+        a = 1.0
+        b = 1.0 if da["final"] == db["final"] else 0.0
+    return classify(
+        case, "digest.match", a, b, higher_is_better=True, iqr=0.0, rel_floor=0.0
+    )
 
 
 def _compare_host(

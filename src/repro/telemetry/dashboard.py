@@ -20,7 +20,8 @@ it respects ``prefers-color-scheme`` without any scripting.
 
 The registry-backed panel builders (:func:`bench_section`,
 :func:`hostperf_section`, :func:`breakdown_section`,
-:func:`health_section`, :func:`runs_section`) and the page shell
+:func:`health_section`, :func:`determinism_section`,
+:func:`runs_section`) and the page shell
 (:data:`PAGE_STYLE`, :func:`render_page`) are public: the live fleet
 service (:mod:`repro.telemetry.server`, ``repro watch``) renders the
 same panels instead of duplicating them, so the static and live views
@@ -481,6 +482,85 @@ def health_section(runs_dir: Path, max_runs: int = 8) -> str:
     )
 
 
+def determinism_section(
+    runs_dir: Path,
+    goldens_dir: str | Path = "benchmarks/goldens",
+    max_runs: int = 8,
+) -> str:
+    """Determinism panel: committed golden traces + recent digested runs.
+
+    One row per golden file (case, scale, final chain, horizon) and one
+    per recent registry record that carries a digest block — the same
+    fingerprints ``repro diff`` and ``repro golden check`` compare, so a
+    glance shows which runs are covered by the differential oracle.
+    """
+    from .digest import golden_files, load_golden
+
+    parts = []
+    golden_rows = []
+    for path in golden_files(goldens_dir):
+        try:
+            golden = load_golden(path)
+        except (ValueError, OSError):
+            golden_rows.append(
+                "<tr>"
+                f"<td>{html.escape(path.name)}</td>"
+                '<td colspan="4"><span class="alarm">unreadable golden '
+                "file</span></td></tr>"
+            )
+            continue
+        digest = golden.get("digest") or {}
+        golden_rows.append(
+            "<tr>"
+            f"<td>{html.escape(path.name)}</td>"
+            f"<td>{html.escape(str(golden.get('case')))}</td>"
+            f"<td>{html.escape(str(golden.get('scale')))}</td>"
+            f"<td>{fmt_value(digest.get('cycles', math.nan))}</td>"
+            f"<td><code>{html.escape(str(digest.get('final')))}</code></td>"
+            "</tr>"
+        )
+    if golden_rows:
+        parts.append(
+            "<table><thead><tr><th>golden</th><th>case</th><th>scale</th>"
+            "<th>cycles</th><th>digest chain</th></tr></thead>"
+            f"<tbody>{''.join(golden_rows)}</tbody></table>"
+        )
+    else:
+        parts.append(
+            '<p class="empty">no golden traces yet — record them with '
+            "<code>repro golden record</code>.</p>"
+        )
+    store = RunStore(runs_dir)
+    digested = [
+        record for record in store.load(strict=False) if record.digest
+    ][-max_runs:]
+    if digested:
+        run_rows = "".join(
+            "<tr>"
+            f"<td>{html.escape(record.created)}</td>"
+            f"<td>{html.escape(record.kind)}</td>"
+            f"<td>{html.escape(record.label)}</td>"
+            f"<td>{html.escape(record.workload)}</td>"
+            f"<td>{fmt_value(record.digest.get('events_total', math.nan))}</td>"
+            f"<td><code>{html.escape(str(record.digest.get('final')))}</code></td>"
+            "</tr>"
+            for record in reversed(digested)
+        )
+        parts.append(
+            '<p class="meta">recent digested runs '
+            "(compare any two with <code>repro diff</code>)</p>"
+            "<table><thead><tr><th>created</th><th>kind</th><th>label</th>"
+            "<th>workload</th><th>events</th><th>digest chain</th></tr>"
+            f"</thead><tbody>{run_rows}</tbody></table>"
+        )
+    else:
+        parts.append(
+            '<p class="empty">no digested runs in the registry yet — record '
+            "one with <code>repro simulate --digest</code>.</p>"
+        )
+    return "".join(parts)
+
+
 def skipped_warning(store: RunStore) -> str:
     """Warning fragment for malformed registry lines ('' when clean).
 
@@ -586,6 +666,8 @@ def build_dashboard(
         breakdown_section(Path(runs_dir)),
         "<h2>Run health</h2>",
         health_section(Path(runs_dir)),
+        "<h2>Determinism</h2>",
+        determinism_section(Path(runs_dir)),
         "<h2>Recent runs</h2>",
         runs_section(Path(runs_dir), top_runs),
     ]

@@ -1,0 +1,663 @@
+"""Differential comparison of two runs (``repro diff A B``).
+
+Turns "the numbers look different" into "first divergence at cycle 412"
+by comparing two runs' :mod:`~repro.telemetry.digest` blocks at three
+escalating granularities:
+
+1. **Summary** — headline statistics and the per-event-kind census.  Two
+   runs with equal digest chains are behaviorally identical and the diff
+   stops here with exit status 0.
+2. **Census** — per-event-kind count deltas plus a binary search over the
+   recorded ``(cycle, chain)`` checkpoints.  Chained hashes diverge
+   permanently once they diverge, so "is checkpoint *i* divergent?" is a
+   monotone predicate and bisection pins the divergence to one
+   checkpoint interval without any re-simulation.
+3. **Cycle** — both sides are re-simulated from the digest's ``meta``
+   (family, geometry, pattern, rate, seed, horizon, policy) with
+   per-cycle chain capture over the divergent interval; a second
+   bisection over the captured chains names the **first divergent
+   cycle**, and the losing side is re-run once more with the flight
+   recorder windowed on that cycle to print the event-level context.
+
+Diffable sources (``load_diffable``): golden-trace files
+(``GOLDEN_*.json``), run-registry records (a record JSON or a
+``runs.jsonl`` store, optionally ``#run_id``-suffixed), and live
+re-simulations described by a ``sim:`` spec string such as::
+
+    sim:family=hetero_phy_torus,chiplets=2x2,nodes=4x4,pattern=uniform,
+        rate=0.15,seed=1,cycles=2000,warmup=400
+
+A ``perturb=CYCLE`` key injects one extra single-flit packet at that
+cycle — a real behavioral perturbation the localization tests and CI's
+determinism-smoke job use to prove the diff names the exact cycle.
+
+Import note: simulator modules are imported inside functions only (see
+the package initializer's import note).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from .digest import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DigestError,
+    RunDigest,
+    digests_comparable,
+    golden_path,
+    load_golden,
+    make_golden,
+    validate_digest_block,
+    write_golden,
+)
+from .runstore import RunRecord, RunStore, RunStoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.flit import Packet
+
+    from .bench import BenchCase
+
+#: Meta keys a digest must carry to be re-simulated for localization.
+RESIM_KEYS = ("family", "chiplets", "nodes", "pattern", "rate", "seed", "cycles")
+
+#: Flight-recorder retention (cycles) on the event-context re-run.
+_CONTEXT_WINDOW = 64
+
+
+class DiffError(ValueError):
+    """A diff input could not be loaded or re-simulated."""
+
+
+@dataclass
+class Diffable:
+    """One side of a diff: a digest block plus optional summary stats."""
+
+    label: str
+    #: ``"golden"``, ``"record"`` or ``"sim"``.
+    source: str
+    digest: dict[str, Any]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return self.digest.get("meta") or {}
+
+    @property
+    def resimulable(self) -> bool:
+        """Whether the digest carries enough meta to re-run the simulation."""
+        return all(self.meta.get(key) is not None for key in RESIM_KEYS)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one ``repro diff`` invocation, at its final granularity."""
+
+    label_a: str
+    label_b: str
+    digest_a: dict[str, Any]
+    digest_b: dict[str, Any]
+    identical: bool
+    #: False when the blocks cannot be meaningfully compared (algorithm or
+    #: horizon mismatch); the divergence fields are then meaningless.
+    comparable: bool = True
+    notes: list[str] = field(default_factory=list)
+    #: ``(stat, a, b)`` for summary statistics that differ.
+    stats_diffs: list[tuple[str, Any, Any]] = field(default_factory=list)
+    #: ``(event, a, b)`` for event-kind counts that differ.
+    event_diffs: list[tuple[str, int, int]] = field(default_factory=list)
+    #: Checkpoint interval ``(lo, hi]`` (in cycles-completed labels) whose
+    #: chains bracket the divergence (None until granularity 2 ran).
+    interval: Optional[tuple[int, int]] = None
+    #: First divergent simulation cycle (0-based engine ``now``; None
+    #: until granularity 3 localized it).
+    divergent_cycle: Optional[int] = None
+    #: Decoded loser-side events at the divergent cycle.
+    context: list[dict[str, Any]] = field(default_factory=list)
+    #: Context events beyond the cap that were not included.
+    context_truncated: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.identical else 1
+
+    def render(self) -> str:
+        """Plain-text report, one granularity per section."""
+        a, b = self.digest_a, self.digest_b
+        lines = [
+            f"repro diff: {self.label_a}  vs  {self.label_b}",
+            f"  A: {a.get('final', '?')}  ({a.get('events_total', '?')} events, "
+            f"{a.get('cycles', '?')} cycles)",
+            f"  B: {b.get('final', '?')}  ({b.get('events_total', '?')} events, "
+            f"{b.get('cycles', '?')} cycles)",
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if not self.comparable:
+            lines.append("verdict: NOT COMPARABLE")
+            return "\n".join(lines)
+        if self.identical:
+            lines.append("verdict: IDENTICAL (digest chains match)")
+            return "\n".join(lines)
+        lines.append("verdict: DIVERGED")
+        if self.stats_diffs:
+            lines.append("granularity 1 — summary stats that differ:")
+            for stat, va, vb in self.stats_diffs:
+                lines.append(f"  {stat:<26s} {va!s:>14s} {vb!s:>14s}")
+        else:
+            lines.append("granularity 1 — summary stats agree")
+        if self.event_diffs:
+            lines.append("granularity 2 — event census deltas:")
+            for event, ca, cb in self.event_diffs:
+                lines.append(f"  {event:<26s} {ca:>14d} {cb:>14d} ({cb - ca:+d})")
+        else:
+            lines.append("granularity 2 — event census agrees")
+        if self.interval is not None:
+            lo, hi = self.interval
+            lines.append(
+                f"  checkpoint bisection: chains agree through cycle {lo}, "
+                f"diverged by cycle {hi}"
+            )
+        if self.divergent_cycle is not None:
+            lines.append(
+                f"granularity 3 — first divergent cycle: {self.divergent_cycle}"
+            )
+            if self.context:
+                lines.append(
+                    f"  event context at cycle {self.divergent_cycle} "
+                    f"({self.label_b}):"
+                )
+                for event in self.context:
+                    fields = " ".join(
+                        f"{key}={value}"
+                        for key, value in event.items()
+                        if key not in ("event", "cycle")
+                    )
+                    lines.append(f"    {event.get('event', '?'):<14s} {fields}")
+                if self.context_truncated:
+                    lines.append(
+                        f"    … {self.context_truncated} more event(s) at this cycle"
+                    )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# re-simulation harness
+# ---------------------------------------------------------------------------
+
+
+class PerturbedWorkload:
+    """Wraps a workload, injecting one extra single-flit packet at a cycle.
+
+    The extra packet is a real behavioral perturbation — it occupies a
+    VC, consumes credits and shifts every later packet's canonical id —
+    so the digest diverges at exactly the perturbed cycle and stays
+    diverged, which is what the localization tests assert.
+    """
+
+    def __init__(self, inner: Any, cycle: int, *, src: int = 0, dst: int = 1) -> None:
+        self.inner = inner
+        self.cycle = cycle
+        self.src = src
+        self.dst = dst
+
+    def step(self, now: int) -> Iterable["Packet"]:
+        from repro.noc.flit import Packet
+
+        packets = list(self.inner.step(now))
+        if now == self.cycle:
+            packets.append(Packet(self.src, self.dst, 1, now))
+        return packets
+
+    def done(self, now: int) -> bool:
+        return self.inner.done(now)
+
+
+def resimulate(
+    meta: dict[str, Any],
+    *,
+    cycles: Optional[int] = None,
+    capture: Optional[tuple[int, int]] = None,
+    recorder: bool = False,
+) -> tuple[Any, RunDigest, Optional[Any]]:
+    """Re-run a simulation described by a digest's ``meta`` block.
+
+    Returns ``(stats, digest, flight_recorder)``; the recorder is only
+    attached when ``recorder=True`` (the event-context pass).  ``cycles``
+    truncates the horizon — determinism makes any prefix of the run
+    identical to the same prefix of the full run, so localization passes
+    never simulate past the cycle they care about.
+    """
+    missing = [key for key in RESIM_KEYS if meta.get(key) is None]
+    if missing:
+        raise DiffError(
+            f"digest meta cannot be re-simulated; missing: {', '.join(missing)}"
+        )
+    from repro.sim.build import build_network
+    from repro.sim.config import SimConfig
+    from repro.sim.engine import Engine
+    from repro.sim.stats import Stats
+    from repro.topology.grid import ChipletGrid
+    from repro.topology.system import build_system
+    from repro.traffic.injection import SyntheticWorkload
+    from repro.traffic.patterns import make_pattern
+
+    from .forensics import FlightRecorder
+
+    total = int(meta["cycles"])
+    run_cycles = total if cycles is None else min(int(cycles), total)
+    warmup = int(meta.get("warmup") or 0)
+    cx, cy = meta["chiplets"]
+    nx, ny = meta["nodes"]
+    grid = ChipletGrid(int(cx), int(cy), int(nx), int(ny))
+    config = SimConfig().replace(sim_cycles=total, warmup_cycles=warmup)
+    spec = build_system(str(meta["family"]), grid, config)
+    stats = Stats(measure_from=warmup)
+    policy = meta.get("policy") or None
+    network = build_network(spec, stats, policy=policy)
+    workload: Any = SyntheticWorkload(
+        make_pattern(str(meta["pattern"]), grid.n_nodes),
+        grid.n_nodes,
+        float(meta["rate"]),
+        config.packet_length,
+        until=total,
+        seed=int(meta["seed"]),
+    )
+    if meta.get("perturb") is not None:
+        workload = PerturbedWorkload(
+            workload, int(meta["perturb"]), dst=max(1, grid.n_nodes - 1)
+        )
+    digest = RunDigest(
+        network,
+        checkpoint_every=int(meta.get("checkpoint_every") or DEFAULT_CHECKPOINT_EVERY),
+        capture=capture,
+    )
+    digest.meta = dict(meta)
+    flight = (
+        FlightRecorder(network, window=_CONTEXT_WINDOW, events="full")
+        if recorder
+        else None
+    )
+    Engine(network, workload, stats).run(run_cycles)
+    digest.detach()
+    if flight is not None:
+        flight.detach()
+    return stats, digest, flight
+
+
+# ---------------------------------------------------------------------------
+# diffable loading
+# ---------------------------------------------------------------------------
+
+#: ``sim:`` spec defaults (family is required).
+_SIM_DEFAULTS: dict[str, Any] = {
+    "chiplets": "2x2",
+    "nodes": "3x3",
+    "pattern": "uniform",
+    "rate": 0.1,
+    "seed": 1,
+    "cycles": 2_000,
+    "warmup": 400,
+}
+
+
+def parse_sim_spec(text: str) -> dict[str, Any]:
+    """Parse a ``sim:key=value,...`` spec into a re-simulation meta dict."""
+    body = text[len("sim:"):]
+    raw: dict[str, str] = {}
+    for item in filter(None, body.split(",")):
+        if "=" not in item:
+            raise DiffError(f"sim spec item {item!r} is not key=value")
+        key, value = item.split("=", 1)
+        raw[key.strip()] = value.strip()
+    unknown = set(raw) - {
+        "family", "chiplets", "nodes", "pattern", "rate", "seed",
+        "cycles", "warmup", "policy", "perturb", "checkpoint_every",
+    }
+    if unknown:
+        raise DiffError(f"unknown sim spec key(s): {', '.join(sorted(unknown))}")
+    if "family" not in raw:
+        raise DiffError("sim spec requires family=<system family>")
+
+    def pair(value: str, what: str) -> list[int]:
+        try:
+            x, y = value.lower().split("x")
+            return [int(x), int(y)]
+        except ValueError:
+            raise DiffError(f"invalid {what} {value!r}; expected e.g. 2x2") from None
+
+    meta: dict[str, Any] = {
+        "family": raw["family"],
+        "chiplets": pair(raw.get("chiplets", _SIM_DEFAULTS["chiplets"]), "chiplets"),
+        "nodes": pair(raw.get("nodes", _SIM_DEFAULTS["nodes"]), "nodes"),
+        "pattern": raw.get("pattern", _SIM_DEFAULTS["pattern"]),
+        "rate": float(raw.get("rate", _SIM_DEFAULTS["rate"])),
+        "seed": int(raw.get("seed", _SIM_DEFAULTS["seed"])),
+        "cycles": int(raw.get("cycles", _SIM_DEFAULTS["cycles"])),
+        "warmup": int(raw.get("warmup", _SIM_DEFAULTS["warmup"])),
+    }
+    if raw.get("policy"):
+        meta["policy"] = raw["policy"]
+    if raw.get("perturb") is not None:
+        meta["perturb"] = int(raw["perturb"])
+    if raw.get("checkpoint_every") is not None:
+        meta["checkpoint_every"] = int(raw["checkpoint_every"])
+    return meta
+
+
+def _record_diffable(record: RunRecord, label: str) -> Diffable:
+    if not record.digest:
+        raise DiffError(
+            f"{label}: run record {record.run_id or '?'} carries no digest "
+            "block — record one with `repro simulate --digest`"
+        )
+    validate_digest_block(record.digest, where=label)
+    return Diffable(
+        label=label, source="record", digest=record.digest, stats=dict(record.stats)
+    )
+
+
+def load_diffable(token: str, *, runs_dir: str | Path = "runs") -> Diffable:
+    """Resolve one ``repro diff`` operand into a :class:`Diffable`.
+
+    Accepts a ``sim:`` spec (re-simulates now), a golden file, a run-record
+    JSON, or a ``runs.jsonl`` store (latest digest-bearing record;
+    ``store.jsonl#run_id`` selects one record).
+    """
+    if token.startswith("sim:"):
+        meta = parse_sim_spec(token)
+        stats, digest, _ = resimulate(meta)
+        return Diffable(
+            label=token,
+            source="sim",
+            digest=digest.summary(),
+            stats=dict(stats.summary()),
+        )
+    path_text, _, selector = token.partition("#")
+    path = Path(path_text)
+    if not path.is_file():
+        raise DiffError(f"no such file: {path}")
+    if path.suffix == ".jsonl":
+        store = RunStore(path.parent)
+        chosen: Optional[RunRecord] = None
+        for record in store.iter_records(strict=False):
+            if selector and record.run_id != selector:
+                continue
+            if selector or record.digest:
+                chosen = record
+        if chosen is None:
+            what = f"record {selector!r}" if selector else "digest-bearing record"
+            raise DiffError(f"{path}: no {what} in the run store")
+        return _record_diffable(chosen, token)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DiffError(f"{path}: not valid JSON: {exc}") from None
+    if isinstance(doc, dict) and doc.get("kind") == "golden":
+        golden = load_golden(path)
+        return Diffable(
+            label=f"{path.name} ({golden['case']}@{golden['scale']})",
+            source="golden",
+            digest=golden["digest"],
+            stats=dict(golden.get("stats") or {}),
+        )
+    if isinstance(doc, dict) and "cases" in doc:
+        raise DiffError(
+            f"{path}: bench documents are compared with `repro compare`; "
+            "diff golden files or run records instead"
+        )
+    if isinstance(doc, dict) and "run_id" in doc:
+        try:
+            record = RunRecord.from_dict(doc)
+        except RunStoreError as exc:
+            raise DiffError(f"{path}: {exc}") from None
+        return _record_diffable(record, token)
+    raise DiffError(f"{path}: not a golden trace, run record or runs.jsonl store")
+
+
+# ---------------------------------------------------------------------------
+# the three-granularity diff
+# ---------------------------------------------------------------------------
+
+
+def _stats_diffs(a: dict[str, Any], b: dict[str, Any]) -> list[tuple[str, Any, Any]]:
+    diffs = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb and not (va != va and vb != vb):  # NaN == NaN for our purposes
+            diffs.append((key, va, vb))
+    return diffs
+
+
+def _event_diffs(a: dict[str, Any], b: dict[str, Any]) -> list[tuple[str, int, int]]:
+    counts_a = a.get("events") or {}
+    counts_b = b.get("events") or {}
+    return [
+        (event, int(counts_a.get(event, 0)), int(counts_b.get(event, 0)))
+        for event in sorted(set(counts_a) | set(counts_b))
+        if counts_a.get(event, 0) != counts_b.get(event, 0)
+    ]
+
+
+def _bisect_first_divergent(
+    labels: list[int], chain_a: dict[int, Any], chain_b: dict[int, Any]
+) -> Optional[int]:
+    """First label whose chains differ (None: all agree).
+
+    Sound because chained digests diverge permanently: "diverged at label
+    i" is monotone in i, so binary search applies.
+    """
+    if not labels or chain_a[labels[-1]] == chain_b[labels[-1]]:
+        return None
+    lo, hi = 0, len(labels) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if chain_a[labels[mid]] != chain_b[labels[mid]]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return labels[lo]
+
+
+def _checkpoint_interval(
+    a: dict[str, Any], b: dict[str, Any]
+) -> tuple[tuple[int, int], list[str]]:
+    """Granularity 2: bracket the divergence between two checkpoints.
+
+    Returns ``((lo, hi], notes)`` where chains agree at label ``lo``
+    (0 = start of run) and differ at label ``hi``.
+    """
+    notes: list[str] = []
+    map_a = {int(cycle): chain for cycle, chain in a.get("checkpoints") or []}
+    map_b = {int(cycle): chain for cycle, chain in b.get("checkpoints") or []}
+    labels = sorted(set(map_a) & set(map_b))
+    if (map_a or map_b) and not labels:
+        notes.append(
+            "no common checkpoint cycles (different checkpoint_every?); "
+            "bisecting from the start of the run"
+        )
+    first = _bisect_first_divergent(labels, map_a, map_b)
+    if first is None:
+        # Every common checkpoint agrees; the divergence sits in the tail
+        # between the last checkpoint and the final chain.
+        lo = labels[-1] if labels else 0
+        hi = min(int(a.get("cycles") or 0), int(b.get("cycles") or 0))
+        return (lo, hi), notes
+    index = labels.index(first)
+    lo = labels[index - 1] if index > 0 else 0
+    return (lo, first), notes
+
+
+def diff_runs(
+    a: Diffable,
+    b: Diffable,
+    *,
+    localize: bool = True,
+    context: int = 12,
+) -> DiffReport:
+    """Compare two diffables at escalating granularity (see module doc)."""
+    validate_digest_block(a.digest, where=a.label)
+    validate_digest_block(b.digest, where=b.label)
+    report = DiffReport(
+        label_a=a.label,
+        label_b=b.label,
+        digest_a=a.digest,
+        digest_b=b.digest,
+        identical=False,
+    )
+    reason = digests_comparable(a.digest, b.digest)
+    if reason is not None:
+        report.comparable = False
+        report.notes.append(reason)
+        return report
+    if a.digest.get("final") == b.digest.get("final"):
+        report.identical = True
+        return report
+
+    # Granularity 1 — summary stats; granularity 2 — census + bisection.
+    report.stats_diffs = _stats_diffs(a.stats, b.stats)
+    report.event_diffs = _event_diffs(a.digest, b.digest)
+    report.interval, notes = _checkpoint_interval(a.digest, b.digest)
+    report.notes.extend(notes)
+    if not localize:
+        return report
+
+    # Granularity 3 — re-simulate both sides with per-cycle capture over
+    # the divergent interval and bisect down to the exact cycle.
+    if not (a.resimulable and b.resimulable):
+        stuck = [d.label for d in (a, b) if not d.resimulable]
+        report.notes.append(
+            "cannot localize beyond the checkpoint interval — no "
+            f"re-simulation meta for: {', '.join(stuck)}"
+        )
+        return report
+    lo, hi = report.interval
+    if hi <= lo:
+        report.notes.append(
+            "degenerate checkpoint interval; cannot localize further"
+        )
+        return report
+    window = (lo + 1, hi)
+    _, rerun_a, _ = resimulate(a.meta, cycles=hi, capture=window)
+    _, rerun_b, _ = resimulate(b.meta, cycles=hi, capture=window)
+    for side, original, rerun in (("A", a, rerun_a), ("B", b, rerun_b)):
+        recorded = dict(
+            (int(cycle), chain) for cycle, chain in original.digest["checkpoints"]
+        )
+        expected = recorded.get(hi) or (
+            original.digest.get("final") if hi == original.digest.get("cycles") else None
+        )
+        from .digest import chain_hex
+
+        got = rerun.captured.get(hi)
+        if expected is not None and got is not None and chain_hex(got) != expected:
+            report.notes.append(
+                f"warning: side {side} ({original.label}) did not re-simulate "
+                "reproducibly — its localization may be unreliable"
+            )
+    labels = sorted(set(rerun_a.captured) & set(rerun_b.captured))
+    first = _bisect_first_divergent(
+        labels, rerun_a.captured, rerun_b.captured
+    )
+    if first is None:
+        report.notes.append(
+            "re-simulated chains agree over the divergent interval — the "
+            "recorded digests disagree with this build's behavior"
+        )
+        return report
+    divergent_now = first - 1  # chain labels count completed cycles
+    report.divergent_cycle = divergent_now
+
+    # Re-run the loser with the flight recorder windowed on that cycle.
+    _, _, flight = resimulate(b.meta, cycles=first, recorder=True)
+    assert flight is not None
+    at_cycle = [
+        event for event in flight.events() if event.get("cycle") == divergent_now
+    ]
+    report.context = at_cycle[:context]
+    report.context_truncated = max(0, len(at_cycle) - context)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# golden record / check (the ``repro golden`` verbs)
+# ---------------------------------------------------------------------------
+
+
+def golden_meta_for_case(
+    case: "BenchCase", scale: str, seed: int
+) -> dict[str, Any]:
+    """Re-simulation meta for one bench-suite canonical case."""
+    from .bench import _HORIZONS
+
+    cycles, warmup = _HORIZONS[scale]
+    return {
+        "family": case.family,
+        "chiplets": list(case.chiplets),
+        "nodes": list(case.nodes),
+        "pattern": case.pattern,
+        "rate": case.rate,
+        "seed": seed,
+        "cycles": cycles,
+        "warmup": warmup,
+    }
+
+
+def record_golden_case(
+    case: "BenchCase",
+    *,
+    scale: str,
+    seed: int,
+    directory: str | Path,
+    git_rev: str = "unknown",
+    created: str = "",
+) -> Path:
+    """Simulate one canonical case and write its golden trace."""
+    meta = golden_meta_for_case(case, scale, seed)
+    stats, digest, _ = resimulate(meta)
+    doc = make_golden(
+        case.name,
+        scale,
+        digest.summary(),
+        stats=dict(stats.summary()),
+        git_rev=git_rev,
+        created=created,
+    )
+    return write_golden(doc, golden_path(case.name, scale, directory))
+
+
+def check_golden_file(
+    path: str | Path, *, localize: bool = True
+) -> tuple[bool, str, Optional[DiffReport]]:
+    """Re-simulate one golden's case and verify the digest chain matches.
+
+    Returns ``(ok, one-line message, report)``; the report carries the
+    localized divergence on mismatch.  Foreign or corrupt files raise
+    :class:`~repro.telemetry.digest.DigestError`.
+    """
+    golden_doc = load_golden(path)
+    golden = Diffable(
+        label=f"{Path(path).name} (recorded)",
+        source="golden",
+        digest=golden_doc["digest"],
+        stats=dict(golden_doc.get("stats") or {}),
+    )
+    stats, digest, _ = resimulate(golden.meta)
+    current = Diffable(
+        label="this build (re-simulated)",
+        source="sim",
+        digest=digest.summary(),
+        stats=dict(stats.summary()),
+    )
+    report = diff_runs(golden, current, localize=localize)
+    case = f"{golden_doc['case']}@{golden_doc['scale']}"
+    if report.identical:
+        return True, f"{case}: OK ({golden.digest.get('final')})", report
+    where = (
+        f" (first divergent cycle {report.divergent_cycle})"
+        if report.divergent_cycle is not None
+        else ""
+    )
+    return False, f"{case}: DIGEST MISMATCH{where}", report

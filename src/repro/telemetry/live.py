@@ -41,6 +41,7 @@ from .progress import EtaEstimator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.network import Network
 
+    from .digest import RunDigest
     from .forensics import HealthMonitor
     from .metrics import EpochMetrics
 
@@ -156,6 +157,7 @@ def feed_status(
         "age_seconds": None,
         "wall_seconds": None,
         "stats": {},
+        "digest": None,
         "reason": None,
         "bundle": None,
         "error": None,
@@ -191,6 +193,7 @@ def feed_status(
             status["stats"] = event.get("stats") or {}
             status["wall_seconds"] = event.get("wall_seconds")
             status["eta_seconds"] = 0.0
+            status["digest"] = event.get("digest")
         elif kind == "failure":
             status["state"] = "failed"
             status["reason"] = event.get("reason")
@@ -223,6 +226,10 @@ class LiveFeed:
         When known, heartbeats include completion fraction and ETA.
     metrics / monitor:
         Session collectors to drain at heartbeats (optional).
+    digest:
+        Session run digest (optional); its final chain rides the terminal
+        ``finish`` event as an **optional** payload key, so feeds written
+        before the digest existed still validate.
     """
 
     def __init__(
@@ -235,6 +242,7 @@ class LiveFeed:
         total_cycles: Optional[int] = None,
         metrics: Optional["EpochMetrics"] = None,
         monitor: Optional["HealthMonitor"] = None,
+        digest: Optional["RunDigest"] = None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
@@ -245,6 +253,7 @@ class LiveFeed:
         self.total_cycles = total_cycles
         self.metrics = metrics
         self.monitor = monitor
+        self.digest = digest
         self.eta = EtaEstimator(total_cycles)
         self.events_written = 0
         self._seq = 0
@@ -336,14 +345,20 @@ class LiveFeed:
         if not self._closed:
             self.eta.update(end_cycle)
             self._drain(end_cycle)
-            self._emit(
-                "finish",
-                {
-                    "cycle": end_cycle,
-                    "wall_seconds": self.eta.wall_seconds,
-                    "stats": dict(self.network.stats.summary()),
-                },
-            )
+            payload: dict[str, Any] = {
+                "cycle": end_cycle,
+                "wall_seconds": self.eta.wall_seconds,
+                "stats": dict(self.network.stats.summary()),
+            }
+            if self.digest is not None:
+                from .digest import DIGEST_ALGO
+
+                payload["digest"] = {
+                    "final": self.digest.final,
+                    "algo": DIGEST_ALGO,
+                    "events_total": self.digest.events_total,
+                }
+            self._emit("finish", payload)
             self.close()
         return self.path
 

@@ -128,6 +128,11 @@ class RunRecord:
     #: The dashboard's "Host performance" panel charts these across
     #: registry history.  Defaulted for the same schema-v1 reason.
     bench: dict[str, Any] = field(default_factory=dict)
+    #: Deterministic event-digest block (``RunDigest.record_summary``:
+    #: final chain, per-kind census, checkpoint chain, re-simulation
+    #: meta; empty unless the run attached a digest).  ``repro diff``
+    #: consumes it.  Defaulted for the same schema-v1 reason.
+    digest: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -183,6 +188,10 @@ def record_from_result(
     forensics_session = getattr(session, "forensics", None)
     if forensics_session is not None:
         forensics = forensics_session.record_summary()
+    digest: dict[str, Any] = {}
+    digest_collector = getattr(session, "digest", None)
+    if digest_collector is not None:
+        digest = digest_collector.record_summary()
     return RunRecord(
         run_id=run_id or new_run_id(),
         created=utc_now_iso(),
@@ -203,6 +212,7 @@ def record_from_result(
         extras=dict(extras or {}),
         breakdown=breakdown,
         forensics=forensics,
+        digest=digest,
     )
 
 

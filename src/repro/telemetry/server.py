@@ -38,6 +38,7 @@ from typing import Any, Callable, Optional
 from urllib.parse import urlparse
 
 from .dashboard import (
+    determinism_section,
     fmt_value,
     health_section,
     hostperf_section,
@@ -181,6 +182,15 @@ class WatchService:
             "cases": cases,
         }
 
+    def registry_digest(self, run_id: str) -> Optional[dict[str, Any]]:
+        """The registry record's digest block for a run id (None: none)."""
+        store = RunStore(self.runs_dir)
+        found: Optional[dict[str, Any]] = None
+        for record in store.iter_records(strict=False):
+            if record.run_id == run_id and record.digest:
+                found = record.digest
+        return found
+
     def change_stamp(self) -> tuple:
         """Cheap fingerprint of everything the pages render.
 
@@ -281,6 +291,8 @@ class WatchService:
             hostperf_section(self.runs_dir),
             "<h2>Run health</h2>",
             health_section(self.runs_dir),
+            "<h2>Determinism</h2>",
+            determinism_section(self.runs_dir),
             "<h2>Recent runs</h2>",
             runs_section(self.runs_dir, self.top_runs),
         ]
@@ -319,6 +331,7 @@ class WatchService:
                 f'<p class="meta">finished at cycle {fmt_value(status["cycle"])} '
                 f"in {fmt_value(float(status['wall_seconds'] or 0.0))} s</p>"
             )
+        parts.append(self._determinism_badge(status))
         bar = svg_progress_bar(status["fraction"], title="completion")
         cps = status["cps"]
         parts.append(
@@ -393,6 +406,43 @@ class WatchService:
             )
         _ = meta  # rendered in the page header
         return "".join(parts)
+
+    def _determinism_badge(self, status: dict[str, Any]) -> str:
+        """The run page's determinism badge.
+
+        Cross-checks the live feed's final digest chain against the run's
+        registry record; feeds without a digest (plain runs, old feeds)
+        get a muted "no digest" badge rather than nothing, so the
+        reproducibility affordance is always visible.
+        """
+        live_digest = status.get("digest") or {}
+        final = live_digest.get("final")
+        registry = self.registry_digest(str(status.get("run_id", "")))
+        registry_final = (registry or {}).get("final")
+        if not final and not registry_final:
+            return (
+                '<p class="meta">determinism: no digest — re-run with '
+                "<code>repro simulate --digest --live</code>.</p>"
+            )
+        shown = final or registry_final
+        if final and registry_final:
+            if final == registry_final:
+                verdict = "digest match (feed = registry)"
+                css = "meta"
+            else:
+                verdict = (
+                    f"DIGEST MISMATCH — registry says "
+                    f"{html.escape(str(registry_final))}"
+                )
+                css = "alarm"
+        else:
+            where = "live feed" if final else "registry"
+            verdict = f"digest present ({where} only)"
+            css = "meta"
+        return (
+            f'<p class="{css}">determinism: {verdict} · '
+            f"<code>{html.escape(str(shown))}</code></p>"
+        )
 
     def run_page(self, run_id: str) -> Optional[str]:
         state = self.live_state(run_id)

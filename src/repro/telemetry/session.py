@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import IO, TYPE_CHECKING, Callable, Optional
 
 from .attribution import LatencyLedger
+from .digest import RunDigest
 from .forensics import ForensicsConfig, ForensicsSession, HealthThresholds
 from .hostprof import HostTimeLedger
 from .live import LiveFeed
@@ -107,6 +108,16 @@ class TelemetryConfig:
     #: Run id keying the feed file and joining it to the run registry
     #: record (None: a fresh id is generated at attach time).
     run_id: Optional[str] = None
+    #: Attach the streaming :class:`~repro.telemetry.digest.RunDigest` —
+    #: a platform-stable chained hash of every bus event, persisted on
+    #: the run record (``digest`` block) for ``repro diff``.
+    digest: bool = False
+    #: Cycles between digest checkpoint entries.
+    digest_checkpoint_every: int = 1_000
+    #: Optional ``(first, last)`` cycle-label window over which the
+    #: digest records every per-cycle chain value (implies ``digest``;
+    #: used by ``repro diff`` localization re-runs).
+    digest_capture: Optional[tuple[int, int]] = None
 
 
 @dataclass
@@ -127,6 +138,8 @@ class TelemetrySession:
     #: requested; the harness installs it as ``engine.livefeed`` so the
     #: failure path can emit a terminal ``failure`` event).
     live: Optional[LiveFeed] = None
+    #: Streaming run digest (set when ``digest`` was requested).
+    digest: Optional[RunDigest] = None
     #: cProfile capture (set by the harness when profiling was requested).
     profile_report: Optional["ProfileReport"] = None
     #: Deprecated: rendered pstats text of ``profile_report``.  Kept for
@@ -182,6 +195,12 @@ class TelemetrySession:
             if config.health_thresholds is not None:
                 forensics_config.thresholds = config.health_thresholds
             session.forensics = ForensicsSession(network, forensics_config)
+        if config.digest or config.digest_capture is not None:
+            session.digest = RunDigest(
+                network,
+                checkpoint_every=config.digest_checkpoint_every,
+                capture=config.digest_capture,
+            )
         if config.live:
             # Attached last on purpose: the bus dispatches in subscription
             # order, so epoch metrics and health probes for a boundary
@@ -199,6 +218,7 @@ class TelemetrySession:
                 monitor=(
                     session.forensics.monitor if session.forensics is not None else None
                 ),
+                digest=session.digest,
             )
         return session
 
@@ -220,6 +240,8 @@ class TelemetrySession:
                 self.written.append(self.ledger.write_csv(self.config.breakdown_csv))
         if self.forensics is not None:
             self.forensics.detach()
+        if self.digest is not None:
+            self.digest.detach()
         if self.live is not None:
             # No-op when the engine's failure path already closed the
             # feed with a terminal failure event.

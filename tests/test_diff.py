@@ -1,0 +1,431 @@
+"""Tests for the differential run oracle (``repro.telemetry.diff``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import (
+    Diffable,
+    DiffError,
+    check_golden_file,
+    diff_runs,
+    load_diffable,
+    make_golden,
+    parse_sim_spec,
+    resimulate,
+    write_golden,
+)
+from repro.telemetry.diff import PerturbedWorkload
+from repro.telemetry.digest import chain_hex, golden_path
+from repro.telemetry.runstore import RunStore
+
+from .test_runstore import make_record
+
+#: A fast, fully specified re-simulation meta shared across tests.
+BASE_META = {
+    "family": "parallel_mesh",
+    "chiplets": [2, 2],
+    "nodes": [2, 2],
+    "pattern": "uniform",
+    "rate": 0.1,
+    "seed": 5,
+    "cycles": 600,
+    "warmup": 100,
+    "checkpoint_every": 200,
+}
+
+BASE_SPEC = (
+    "sim:family=parallel_mesh,chiplets=2x2,nodes=2x2,pattern=uniform,"
+    "rate=0.1,seed=5,cycles=600,warmup=100,checkpoint_every=200"
+)
+
+
+def sim_diffable(label="side", **meta_overrides):
+    meta = dict(BASE_META, **meta_overrides)
+    stats, digest, _ = resimulate(meta)
+    return Diffable(
+        label=label, source="sim", digest=digest.summary(),
+        stats=dict(stats.summary()),
+    )
+
+
+# -- sim spec parsing ---------------------------------------------------------
+def test_parse_sim_spec_defaults_and_overrides():
+    meta = parse_sim_spec("sim:family=serial_torus")
+    assert meta["family"] == "serial_torus"
+    assert meta["chiplets"] == [2, 2]
+    assert meta["nodes"] == [3, 3]
+    assert meta["pattern"] == "uniform"
+    assert meta["cycles"] == 2_000
+    assert "perturb" not in meta
+
+    meta = parse_sim_spec(BASE_SPEC + ",policy=balanced,perturb=305")
+    assert meta["nodes"] == [2, 2]
+    assert meta["rate"] == 0.1
+    assert meta["policy"] == "balanced"
+    assert meta["perturb"] == 305
+    assert meta["checkpoint_every"] == 200
+
+
+def test_parse_sim_spec_rejects_malformed_specs():
+    with pytest.raises(DiffError, match="requires family"):
+        parse_sim_spec("sim:rate=0.1")
+    with pytest.raises(DiffError, match="not key=value"):
+        parse_sim_spec("sim:family=parallel_mesh,oops")
+    with pytest.raises(DiffError, match="unknown sim spec key"):
+        parse_sim_spec("sim:family=parallel_mesh,wombat=1")
+    with pytest.raises(DiffError, match="expected e.g. 2x2"):
+        parse_sim_spec("sim:family=parallel_mesh,chiplets=four")
+
+
+# -- re-simulation harness ----------------------------------------------------
+def test_resimulate_requires_complete_meta():
+    meta = dict(BASE_META)
+    del meta["seed"]
+    meta["rate"] = None
+    with pytest.raises(DiffError, match="missing: rate, seed"):
+        resimulate(meta)
+
+
+def test_resimulate_is_deterministic_and_prefix_stable():
+    _, full, _ = resimulate(BASE_META, capture=(200, 200))
+    _, again, _ = resimulate(BASE_META)
+    assert full.final == again.final
+    assert full.events_total == again.events_total
+    # Truncation yields exactly the full run's chain at that cycle, which
+    # is what lets localization stop simulating at the divergent interval.
+    _, prefix, _ = resimulate(BASE_META, cycles=200)
+    assert prefix.final == chain_hex(full.captured[200])
+    assert prefix.cycles == 200
+
+
+def test_resimulate_meta_lands_on_the_digest():
+    _, digest, _ = resimulate(BASE_META)
+    assert digest.summary()["meta"] == BASE_META
+
+
+def test_perturbed_workload_injects_one_extra_packet():
+    class Quiet:
+        def step(self, now):
+            return []
+
+        def done(self, now):
+            return now > 99
+
+    workload = PerturbedWorkload(Quiet(), 7, src=0, dst=3)
+    assert workload.step(6) == []
+    [extra] = workload.step(7)
+    assert (extra.src, extra.dst, extra.length) == (0, 3, 1)
+    assert workload.step(8) == []
+    assert not workload.done(50) and workload.done(100)
+
+
+def test_perturbation_changes_the_digest():
+    base = sim_diffable()
+    perturbed = sim_diffable(perturb=305)
+    assert base.digest["final"] != perturbed.digest["final"]
+
+
+# -- diffable loading ---------------------------------------------------------
+def test_load_diffable_sim_spec():
+    side = load_diffable(BASE_SPEC)
+    assert side.source == "sim"
+    assert side.resimulable
+    assert side.digest["final"] == sim_diffable().digest["final"]
+    assert side.stats  # summary stats ride along for granularity 1
+
+
+def test_load_diffable_golden_and_record(tmp_path):
+    block = sim_diffable().digest
+    golden_file = write_golden(
+        make_golden("custom_case", "tiny", block),
+        golden_path("custom_case", "tiny", tmp_path),
+    )
+    golden = load_diffable(str(golden_file))
+    assert golden.source == "golden"
+    assert "custom_case@tiny" in golden.label
+    assert golden.digest == block
+
+    record_file = tmp_path / "record.json"
+    record_file.write_text(
+        json.dumps(make_record(run_id="rec0000000001", digest=block).to_dict())
+    )
+    record = load_diffable(str(record_file))
+    assert record.source == "record"
+    assert record.digest == block
+
+
+def test_load_diffable_runstore_selectors(tmp_path):
+    block = sim_diffable().digest
+    store = RunStore(tmp_path / "runs")
+    store.append(make_record(run_id="digested00001", digest=block))
+    store.append(make_record(run_id="plain00000001"))  # no digest
+
+    # Default: the latest digest-bearing record, not the latest record.
+    side = load_diffable(str(store.path))
+    assert side.digest == block
+    assert load_diffable(f"{store.path}#digested00001").digest == block
+    with pytest.raises(DiffError, match="carries no digest"):
+        load_diffable(f"{store.path}#plain00000001")
+    with pytest.raises(DiffError, match="no record 'missing'"):
+        load_diffable(f"{store.path}#missing")
+
+
+def test_load_diffable_rejects_foreign_inputs(tmp_path):
+    with pytest.raises(DiffError, match="no such file"):
+        load_diffable(str(tmp_path / "absent.json"))
+    bench = tmp_path / "BENCH_1.json"
+    bench.write_text(json.dumps({"kind": "bench", "cases": {}}))
+    with pytest.raises(DiffError, match="repro compare"):
+        load_diffable(str(bench))
+    mystery = tmp_path / "mystery.json"
+    mystery.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(DiffError, match="not a golden trace"):
+        load_diffable(str(mystery))
+    record = tmp_path / "plain.json"
+    record.write_text(json.dumps(make_record().to_dict()))
+    with pytest.raises(DiffError, match="carries no digest"):
+        load_diffable(str(record))
+
+
+# -- the three-granularity diff -----------------------------------------------
+def test_diff_identical_runs_stops_at_granularity_one():
+    report = diff_runs(sim_diffable("a"), sim_diffable("b"))
+    assert report.identical
+    assert report.exit_code == 0
+    assert report.divergent_cycle is None
+    assert "verdict: IDENTICAL" in report.render()
+
+
+def test_diff_mismatched_horizons_is_not_comparable():
+    report = diff_runs(sim_diffable("a"), sim_diffable("b", cycles=400))
+    assert not report.identical and not report.comparable
+    assert report.exit_code == 1
+    assert "verdict: NOT COMPARABLE" in report.render()
+    assert any("horizons differ" in note for note in report.notes)
+
+
+def test_diff_localizes_single_perturbation_to_its_exact_cycle():
+    report = diff_runs(sim_diffable("base"), sim_diffable("bad", perturb=305))
+    assert not report.identical
+    assert report.exit_code == 1
+    # Granularity 2: the census sees the one extra packet...
+    census = {event: (a, b) for event, a, b in report.event_diffs}
+    inject_a, inject_b = census["packet_inject"]
+    assert inject_b == inject_a + 1
+    # ...and checkpoint bisection brackets the divergence.
+    assert report.interval == (200, 400)
+    # Granularity 3: re-simulation names the exact cycle, with context.
+    assert report.divergent_cycle == 305
+    assert report.context
+    assert all(event["cycle"] == 305 for event in report.context)
+    text = report.render()
+    assert "first divergent cycle: 305" in text
+    assert "packet_inject" in text
+
+
+def test_diff_context_cap_reports_truncation():
+    report = diff_runs(
+        sim_diffable("base"), sim_diffable("bad", perturb=305), context=1
+    )
+    assert len(report.context) == 1
+    assert report.context_truncated >= 0
+    if report.context_truncated:
+        assert "more event(s)" in report.render()
+
+
+def test_diff_no_localize_stops_at_the_checkpoint_interval():
+    report = diff_runs(
+        sim_diffable("base"), sim_diffable("bad", perturb=305), localize=False
+    )
+    assert report.interval == (200, 400)
+    assert report.divergent_cycle is None
+    assert not report.context
+
+
+def test_diff_without_resim_meta_degrades_gracefully():
+    base = sim_diffable("base")
+    stranger = sim_diffable("stranger", perturb=305)
+    stranger.digest["meta"] = {}  # e.g. a trace-driven run: no pattern/rate
+    report = diff_runs(base, stranger)
+    assert not report.identical
+    assert report.interval == (200, 400)
+    assert report.divergent_cycle is None
+    assert any("cannot localize" in note for note in report.notes)
+
+
+# -- golden record / check ----------------------------------------------------
+def test_check_golden_file_roundtrip_and_tampered_mismatch(tmp_path):
+    stats, digest, _ = resimulate(BASE_META)
+    digest.meta = dict(BASE_META)
+    doc = make_golden(
+        "custom_case", "tiny", digest.summary(), stats=dict(stats.summary())
+    )
+    path = write_golden(doc, golden_path("custom_case", "tiny", tmp_path))
+    ok, message, report = check_golden_file(path)
+    assert ok and report.identical
+    assert message == f"custom_case@tiny: OK ({digest.final})"
+
+    # A golden whose recorded chain this build cannot reproduce (it was
+    # recorded from perturbed behavior): the check fails with the
+    # checkpoint interval, and — since re-simulating the golden's meta
+    # yields current behavior, not the recorded one — it flags the
+    # irreproducible side instead of inventing a divergent cycle.
+    _, bad_digest, _ = resimulate(dict(BASE_META, perturb=305))
+    bad_digest.meta = dict(BASE_META)  # claims to be the unperturbed run
+    bad_path = write_golden(
+        make_golden("custom_case", "small", bad_digest.summary()),
+        golden_path("custom_case", "small", tmp_path),
+    )
+    ok, message, report = check_golden_file(bad_path)
+    assert not ok
+    assert message == "custom_case@small: DIGEST MISMATCH"
+    assert report.interval == (200, 400)
+    assert report.divergent_cycle is None
+    assert any("did not re-simulate reproducibly" in n for n in report.notes)
+
+
+# -- CLI ----------------------------------------------------------------------
+def test_cli_diff_identical_and_perturbed(capsys):
+    assert main(["diff", BASE_SPEC, BASE_SPEC]) == 0
+    assert "verdict: IDENTICAL" in capsys.readouterr().out
+
+    assert main(["diff", BASE_SPEC, BASE_SPEC + ",perturb=305"]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: DIVERGED" in out
+    assert "first divergent cycle: 305" in out
+
+
+def test_cli_diff_bad_operand_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no such file"):
+        main(["diff", str(tmp_path / "nope.json"), BASE_SPEC])
+
+
+def test_cli_golden_record_then_check(tmp_path, capsys):
+    goldens = tmp_path / "goldens"
+    code = main(
+        ["golden", "record", "--case", "fig14_hetero_channel",
+         "--dir", str(goldens)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "GOLDEN_fig14_hetero_channel_tiny.json" in out
+
+    assert main(["golden", "check", "--dir", str(goldens)]) == 0
+    assert "fig14_hetero_channel@tiny: OK" in capsys.readouterr().out
+
+
+def test_cli_golden_check_without_goldens_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="no golden traces"):
+        main(["golden", "check", "--dir", str(tmp_path / "empty")])
+
+
+def test_cli_golden_record_rejects_unknown_case(tmp_path):
+    with pytest.raises(SystemExit, match="unknown case"):
+        main(["golden", "record", "--case", "fig99", "--dir", str(tmp_path)])
+
+
+def test_cli_simulate_digest_prints_chain_and_records_block(tmp_path, capsys):
+    runs_dir = tmp_path / "runs"
+    code = main(
+        ["simulate", "--family", "parallel_mesh", "--chiplets", "2x2",
+         "--nodes", "2x2", "--cycles", "600", "--rate", "0.1", "--seed", "5",
+         "--digest", "--runs-dir", str(runs_dir)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "digest   :" in out
+    [record] = RunStore(runs_dir).load()
+    assert record.digest["final"] in out
+    assert record.digest["meta"]["family"] == "parallel_mesh"
+
+
+# -- watch / live integration -------------------------------------------------
+def test_live_feed_carries_digest_and_empty_feeds_fold(tmp_path):
+    from repro.noc.flit import Packet
+    from repro.telemetry import RunDigest, feed_status, read_feed
+    from repro.telemetry.live import LiveFeed
+
+    from .helpers import build_chain, run_cycles
+
+    network, _stats = build_chain(3)
+    digest = RunDigest(network)
+    feed = LiveFeed(
+        network, run_id="digestfeed001", directory=tmp_path / "live",
+        every=10, total_cycles=40, digest=digest,
+    )
+    feed.start({"system": "chain", "workload": "unit"})
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 40)
+    path = feed.finish(40)
+    digest.detach()
+
+    status = feed_status(read_feed(path))
+    assert status["state"] == "finished"
+    assert status["digest"]["final"] == digest.final
+    assert status["digest"]["events_total"] == digest.events_total
+
+    # An empty feed (crashed before its start event) folds without error.
+    assert feed_status([])["state"] == "pending"
+    assert feed_status([])["digest"] is None
+
+
+def test_watch_determinism_badge_states(tmp_path):
+    from repro.telemetry.server import WatchService
+
+    block = sim_diffable().digest
+    runs_dir = tmp_path / "runs"
+    store = RunStore(runs_dir)
+    store.append(make_record(run_id="match00000001", digest=block))
+    service = WatchService(runs_dir)
+
+    none = service._determinism_badge({"run_id": "other", "digest": None})
+    assert "no digest" in none and "repro simulate --digest" in none
+
+    match = service._determinism_badge(
+        {"run_id": "match00000001", "digest": {"final": block["final"]}}
+    )
+    assert "digest match" in match and block["final"] in match
+
+    mismatch = service._determinism_badge(
+        {"run_id": "match00000001", "digest": {"final": "f" * 16}}
+    )
+    assert "DIGEST MISMATCH" in mismatch and 'class="alarm"' in mismatch
+
+    feed_only = service._determinism_badge(
+        {"run_id": "other", "digest": {"final": "a" * 16}}
+    )
+    assert "live feed only" in feed_only
+    registry_only = service._determinism_badge(
+        {"run_id": "match00000001", "digest": None}
+    )
+    assert "registry only" in registry_only
+
+
+def test_fleet_and_dashboard_render_determinism_sections(tmp_path):
+    from repro.telemetry.dashboard import determinism_section
+    from repro.telemetry.server import WatchService
+
+    runs_dir = tmp_path / "runs"
+    store = RunStore(runs_dir)
+    block = sim_diffable().digest
+    store.append(make_record(digest=block))
+    goldens = tmp_path / "goldens"
+    write_golden(
+        make_golden("custom_case", "tiny", block),
+        golden_path("custom_case", "tiny", goldens),
+    )
+
+    fragment = WatchService(runs_dir).fleet_fragment()
+    assert "<h2>Determinism</h2>" in fragment
+
+    section = determinism_section(runs_dir, goldens_dir=goldens)
+    assert "GOLDEN_custom_case_tiny.json" in section
+    assert block["final"] in section
+
+    # Unreadable golden files degrade to an alarm row, not a crash.
+    (goldens / "GOLDEN_bad_tiny.json").write_text("{nope")
+    assert "unreadable golden file" in determinism_section(
+        runs_dir, goldens_dir=goldens
+    )

@@ -1,0 +1,319 @@
+"""Tests for deterministic run digests (``repro.telemetry.digest``)."""
+
+import json
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.sim.build import build_network
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.experiment import run_synthetic
+from repro.sim.stats import Stats
+from repro.telemetry import (
+    DIGEST_ALGO,
+    DIGEST_SCHEMA_VERSION,
+    GOLDEN_SCHEMA_VERSION,
+    DigestError,
+    RunDigest,
+    TelemetryConfig,
+    digests_comparable,
+    golden_files,
+    golden_path,
+    load_golden,
+    make_golden,
+    validate_digest_block,
+    write_golden,
+)
+from repro.telemetry.bench import CASES, run_bench
+from repro.telemetry.compare import compare_bench
+from repro.telemetry.digest import chain_hex
+from repro.telemetry.runstore import RunRecord, RunStore, record_from_result
+from repro.topology.grid import ChipletGrid
+from repro.topology.system import build_system
+from repro.traffic.injection import SyntheticWorkload
+from repro.traffic.patterns import make_pattern
+
+from .helpers import build_chain, run_cycles
+from .test_runstore import make_record
+
+
+def digest_chain_run(cycles=40, *, checkpoint_every=10, capture=None):
+    """Digest a tiny hand-built chain run; returns (network, digest)."""
+    network, _stats = build_chain(3)
+    digest = RunDigest(
+        network, checkpoint_every=checkpoint_every, capture=capture
+    )
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, cycles)
+    digest.detach()
+    return network, digest
+
+
+def digest_family_run(family, *, vct=True, cycles=600, warmup=100, seed=3):
+    """One seeded uniform-traffic run of a family, fully digested.
+
+    ``vct=False`` flips every router to wormhole allocation — the runtime
+    knob ``build_network`` leaves at its VCT default — so the stability
+    matrix covers both switching modes.
+    """
+    config = SimConfig(sim_cycles=cycles, warmup_cycles=warmup)
+    grid = ChipletGrid(2, 2, 3, 3)
+    spec = build_system(family, grid, config)
+    stats = Stats(measure_from=warmup)
+    network = build_network(spec, stats)
+    if not vct:
+        for router in network.routers:
+            router.vct = False
+    workload = SyntheticWorkload(
+        make_pattern("uniform", grid.n_nodes),
+        grid.n_nodes,
+        0.05,
+        config.packet_length,
+        until=cycles,
+        seed=seed,
+    )
+    digest = RunDigest(network, checkpoint_every=200)
+    Engine(network, workload, stats).run(cycles)
+    digest.detach()
+    return digest
+
+
+# -- chain encoding -----------------------------------------------------------
+def test_chain_hex_is_canonical_16_digit_lowercase():
+    assert chain_hex(0) == "0" * 16
+    assert chain_hex(0xDEADBEEF) == "00000000deadbeef"
+    assert chain_hex(1 << 64) == "0" * 16  # masked to 64 bits
+
+
+def test_constructor_validates_arguments():
+    network, _stats = build_chain(2)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        RunDigest(network, checkpoint_every=0)
+    with pytest.raises(ValueError, match="lo <= hi"):
+        RunDigest(network, capture=(9, 3))
+
+
+def test_checkpoint_cadence_and_capture_window():
+    _, digest = digest_chain_run(35, checkpoint_every=10, capture=(5, 8))
+    assert [cycle for cycle, _ in digest.checkpoints] == [10, 20, 30]
+    assert sorted(digest.captured) == [5, 6, 7, 8]
+    assert digest.cycles == 35
+    # The capture window records the same chain the checkpoints sample.
+    _, again = digest_chain_run(35, checkpoint_every=10, capture=(10, 10))
+    assert chain_hex(again.captured[10]) == chain_hex(dict(again.checkpoints)[10])
+
+
+def test_detach_stops_the_taps():
+    network, _stats = build_chain(3)
+    digest = RunDigest(network)
+    network.inject(Packet(0, 2, 4, 0))
+    run_cycles(network, 20)
+    final, total = digest.final, digest.events_total
+    digest.detach()
+    digest.detach()  # idempotent
+    network.inject(Packet(0, 2, 4, 20))
+    run_cycles(network, 20, start=20)
+    assert digest.final == final
+    assert digest.events_total == total
+
+
+def test_raw_pids_are_canonicalized_across_runs():
+    # Packet.pid comes from a process-global counter, so the raw ids of
+    # these two otherwise-identical runs differ; the digests must not.
+    _, first = digest_chain_run(40)
+    _, second = digest_chain_run(40)
+    assert first.final == second.final
+    assert first.checkpoints == second.checkpoints
+    assert first.events_total == second.events_total > 0
+
+
+def test_different_traffic_diverges_the_chain():
+    _, first = digest_chain_run(40)
+    network, _stats = build_chain(3)
+    digest = RunDigest(network, checkpoint_every=10)
+    network.inject(Packet(0, 1, 4, 0))  # different destination
+    run_cycles(network, 40)
+    digest.detach()
+    assert digest.final != first.final
+
+
+# -- stability matrix: 5 families x {vct, wormhole} ---------------------------
+@pytest.mark.parametrize("vct", [True, False], ids=["vct", "wormhole"])
+def test_same_seed_twice_is_byte_identical(family, vct):
+    first = digest_family_run(family, vct=vct)
+    second = digest_family_run(family, vct=vct)
+    assert first.events_total > 0
+    assert first.final == second.final
+    assert first.checkpoints == second.checkpoints
+    assert first.counts == second.counts
+
+
+def test_different_seeds_diverge():
+    assert (
+        digest_family_run("hetero_phy_torus", seed=1).final
+        != digest_family_run("hetero_phy_torus", seed=2).final
+    )
+
+
+# -- summary block / validation ----------------------------------------------
+def test_summary_block_passes_validation_and_hides_cycle_end():
+    _, digest = digest_chain_run(40)
+    digest.meta = {"family": "chain"}
+    block = digest.summary()
+    assert validate_digest_block(block) is block
+    assert block["schema_version"] == DIGEST_SCHEMA_VERSION
+    assert block["algo"] == DIGEST_ALGO
+    assert block["cycles"] == 40
+    assert block["final"] == digest.final
+    assert "cycle_end" not in block["events"]
+    assert block["events"]["flit_send"] > 0
+    assert block["meta"] == {"family": "chain"}
+    assert block["checkpoints"] == [
+        [cycle, chain_hex(chain)] for cycle, chain in digest.checkpoints
+    ]
+
+
+def test_validate_digest_block_rejects_malformed_blocks():
+    with pytest.raises(DigestError, match="not a JSON object"):
+        validate_digest_block(["nope"])
+    with pytest.raises(DigestError, match="not supported"):
+        validate_digest_block({"schema_version": DIGEST_SCHEMA_VERSION + 1})
+    block = digest_chain_run(10)[1].summary()
+    del block["final"]
+    with pytest.raises(DigestError, match="missing field 'final'"):
+        validate_digest_block(block)
+    block = digest_chain_run(10)[1].summary()
+    block["checkpoints"] = "oops"
+    with pytest.raises(DigestError, match="checkpoints is not a list"):
+        validate_digest_block(block)
+
+
+def test_digests_comparable_reasons():
+    a = digest_chain_run(20)[1].summary()
+    b = digest_chain_run(20)[1].summary()
+    assert digests_comparable(a, b) is None
+    short = digest_chain_run(10)[1].summary()
+    assert "horizons differ" in digests_comparable(a, short)
+    foreign = dict(a, algo="sha256-chain-v9")
+    assert "algorithms differ" in digests_comparable(a, foreign)
+
+
+# -- golden traces ------------------------------------------------------------
+def test_golden_roundtrip(tmp_path):
+    block = digest_chain_run(40)[1].summary()
+    doc = make_golden(
+        "chain_case", "tiny", block,
+        stats={"avg_latency": 9.0}, git_rev="cafef00d", created="2026-08-07",
+    )
+    assert doc["schema_version"] == GOLDEN_SCHEMA_VERSION
+    path = write_golden(doc, golden_path("chain_case", "tiny", tmp_path))
+    assert path.name == "GOLDEN_chain_case_tiny.json"
+    loaded = load_golden(path)
+    assert loaded == doc
+    assert golden_files(tmp_path) == [path]
+    assert golden_files(tmp_path / "missing") == []
+
+
+def test_make_golden_validates_its_digest_block():
+    with pytest.raises(DigestError, match="golden bad"):
+        make_golden("bad", "tiny", {"schema_version": 0})
+
+
+def test_load_golden_rejects_foreign_documents(tmp_path):
+    bad_json = tmp_path / "GOLDEN_x_tiny.json"
+    bad_json.write_text("{not json")
+    with pytest.raises(DigestError, match="not valid JSON"):
+        load_golden(bad_json)
+
+    not_golden = tmp_path / "GOLDEN_y_tiny.json"
+    not_golden.write_text(json.dumps({"kind": "bench"}))
+    with pytest.raises(DigestError, match="not a golden-trace document"):
+        load_golden(not_golden)
+
+    block = digest_chain_run(10)[1].summary()
+    doc = make_golden("z", "tiny", block)
+    doc["schema_version"] = GOLDEN_SCHEMA_VERSION + 1
+    foreign = tmp_path / "GOLDEN_z_tiny.json"
+    foreign.write_text(json.dumps(doc))
+    with pytest.raises(DigestError, match="golden schema"):
+        load_golden(foreign)
+
+    doc = make_golden("w", "tiny", block)
+    del doc["scale"]
+    incomplete = tmp_path / "GOLDEN_w_tiny.json"
+    incomplete.write_text(json.dumps(doc))
+    with pytest.raises(DigestError, match="missing field 'scale'"):
+        load_golden(incomplete)
+
+
+# -- run records --------------------------------------------------------------
+def test_run_record_digest_roundtrips_and_old_records_load(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    block = digest_chain_run(40)[1].summary()
+    store.append(make_record(label="with", digest=block))
+    # A record written before the field existed: same schema, no key.
+    old = make_record(label="without").to_dict()
+    del old["digest"]
+    with store.path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(old) + "\n")
+    loaded = store.load()
+    assert loaded[0].digest == block
+    assert loaded[1].digest == {}  # default for pre-digest records
+
+
+def test_run_synthetic_digest_lands_on_result_and_record():
+    grid = ChipletGrid(2, 2, 2, 2)
+    spec = build_system("parallel_mesh", grid, SimConfig().scaled(600))
+    plain = run_synthetic(spec, "uniform", 0.1, seed=3)
+    assert plain.digest is None
+    assert record_from_result(plain, git_rev="x").digest == {}
+
+    result = run_synthetic(
+        spec, "uniform", 0.1, seed=3, telemetry=TelemetryConfig(digest=True)
+    )
+    block = result.digest
+    validate_digest_block(block)
+    assert block["cycles"] == 600
+    meta = block["meta"]
+    assert meta["family"] == "parallel_mesh"
+    assert meta["chiplets"] == [2, 2]
+    assert meta["pattern"] == "uniform"
+    assert meta["seed"] == 3
+    record = record_from_result(result, git_rev="x")
+    assert record.digest == block
+
+
+# -- bench + compare ----------------------------------------------------------
+def test_bench_case_carries_digest_and_compare_matches():
+    case = next(c for c in CASES if c.name == "table3_parallel_mesh")
+    doc = run_bench(scale="tiny", reps=1, seed=1, cases=[case], git_rev="x")
+    block = doc["cases"][case.name]["digest"]
+    validate_digest_block(block)
+    assert block["meta"]["family"] == case.family
+
+    verdicts = {
+        (v.case, v.metric): v for v in compare_bench(doc, doc)
+    }
+    match = verdicts[(case.name, "digest.match")]
+    assert match.verdict == "noise"  # identical digests
+    assert match.a == match.b == 1.0
+
+
+def test_compare_renders_na_when_digest_block_is_missing():
+    case = next(c for c in CASES if c.name == "table3_parallel_mesh")
+    doc = run_bench(scale="tiny", reps=1, seed=1, cases=[case], git_rev="x")
+    old = json.loads(json.dumps(doc))
+    del old["cases"][case.name]["digest"]  # a pre-digest bench file
+    for a, b in ((old, doc), (doc, old), (old, old)):
+        verdicts = {(v.case, v.metric): v for v in compare_bench(a, b)}
+        assert verdicts[(case.name, "digest.match")].verdict == "n/a"
+
+
+def test_compare_flags_digest_mismatch():
+    case = next(c for c in CASES if c.name == "table3_parallel_mesh")
+    doc = run_bench(scale="tiny", reps=1, seed=1, cases=[case], git_rev="x")
+    drifted = json.loads(json.dumps(doc))
+    drifted["cases"][case.name]["digest"]["final"] = "f" * 16
+    verdicts = {(v.case, v.metric): v for v in compare_bench(doc, drifted)}
+    assert verdicts[(case.name, "digest.match")].verdict == "regressed"
