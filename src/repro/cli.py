@@ -14,6 +14,9 @@ Run paper experiments and ad-hoc simulations from the shell::
     repro prove --family serial_torus --mode wormhole --max-states 8000
     repro bench --scale tiny --reps 3  # standardized perf suite -> BENCH_<n>.json
     repro compare BENCH_0.json BENCH_1.json --strict
+    repro compare BENCH_0.json BENCH_1.json BENCH_2.json --json compare.json
+    repro regress --strict             # changepoint sentinel over runs/ history
+    repro profile --mem                # heap peaks + allocation sites per phase
     repro simulate --digest            # record the run's event-digest chain
     repro golden record --scale tiny   # golden traces -> benchmarks/goldens/
     repro golden check                 # re-simulate goldens, verify digests
@@ -49,6 +52,11 @@ Every ``repro run`` / ``repro simulate`` appends one structured record to
 the append-only run registry (``runs/runs.jsonl`` by default; ``--runs-dir``
 to relocate, ``--no-record`` to skip) so results stay attributable to a
 config hash, git revision and seed — see docs/perf.md.
+
+``repro compare`` and ``repro regress`` exit 0 unless ``--strict`` is
+given *and* at least one (gated) metric regressed; an empty or
+bench-free registry makes ``regress`` print a clean message and exit 0
+even under ``--strict``.
 """
 
 from __future__ import annotations
@@ -368,6 +376,26 @@ def _cmd_profile(args) -> int:
     folded_path = out_dir / "profile.folded.txt"
     folded_path.write_text(report.collapsed(), encoding="utf-8")
     print(f"wrote {folded_path}  (flamegraph.pl / inferno collapsed stacks)")
+    if args.mem:
+        # Pass 3 — memory ledger (tracemalloc roughly doubles allocation
+        # cost, so it gets its own untimed pass; same seed, same run).
+        from repro.telemetry.memprof import MemLedger, render_mem_table
+
+        with MemLedger(top_n=args.mem_top) as mem_ledger:
+            try:
+                run_synthetic(
+                    spec,
+                    args.pattern,
+                    args.rate,
+                    policy=args.policy,
+                    seed=args.seed,
+                )
+            except (RuntimeError, AssertionError) as exc:
+                return _report_failure(spec.name, exc)
+        mem_block = mem_ledger.record_summary()
+        print()
+        print(render_mem_table(mem_block))
+        _write_json_doc(str(out_dir / "profile.mem.json"), mem_block)
     if args.pstats:
         print()
         print(report.text().rstrip())
@@ -413,6 +441,7 @@ def _cmd_bench(args) -> int:
         seed=args.seed,
         cases=cases,
         host_stride=args.host_stride,
+        mem_top=args.mem_top,
     )
     elapsed = time.perf_counter() - start
     path = write_bench(doc, args.out_dir)
@@ -427,12 +456,21 @@ def _cmd_bench(args) -> int:
         )
 
         # One registry record per suite run: the dashboard's "Host
-        # performance" panel charts cycles/sec + phase shares from these.
+        # performance" panel and the regression sentinel both read these.
         store = RunStore(args.runs_dir)
+        # The registry keeps a slim mem block (no allocation sites — the
+        # BENCH file has them); the sentinel only needs the peaks.
         bench_summary = {
             name: {
                 "cps_median": case["cps"]["median"],
                 "host": case.get("host"),
+                "mem": {
+                    k: v
+                    for k, v in (case.get("mem") or {}).items()
+                    if k != "top_sites"
+                }
+                or None,
+                "digest_final": (case.get("digest") or {}).get("final"),
             }
             for name, case in doc["cases"].items()
         }
@@ -458,30 +496,70 @@ def _cmd_bench(args) -> int:
 
 def _cmd_compare(args) -> int:
     from repro.telemetry.compare import (
-        compare_paths,
+        chain_report,
+        compare_chain,
         regressions,
-        render_comparison,
+        render_chain,
     )
     from repro.telemetry.runstore import RunStoreError
 
     try:
-        verdicts = compare_paths(
-            args.a, args.b, rel_floor=args.rel_floor, k=args.k
-        )
+        steps = compare_chain(args.paths, rel_floor=args.rel_floor, k=args.k)
     except (FileNotFoundError, ValueError, RunStoreError) as exc:
         raise SystemExit(str(exc)) from None
-    print(
-        render_comparison(
-            verdicts, label_a=Path(args.a).name, label_b=Path(args.b).name
-        )
-    )
+    print(render_chain(steps))
+    if args.json:
+        _write_json_doc(args.json, chain_report(steps, gate=args.gate))
     if args.strict:
-        gated = regressions(verdicts, gate=args.gate)
+        gated = [
+            v
+            for _, _, verdicts in steps
+            for v in regressions(verdicts, gate=args.gate)
+        ]
         if gated:
             if args.gate:
                 names = ", ".join(sorted({f"{v.case}:{v.metric}" for v in gated}))
                 print(f"gated regression(s): {names}", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    from repro.telemetry.history import load_history
+    from repro.telemetry.sentinel import (
+        SentinelConfig,
+        analyze_history,
+        render_sentinel,
+    )
+
+    try:
+        config = SentinelConfig(window=args.window, min_history=args.min_history)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    history = load_history(args.runs_dir, bench_dirs=args.bench_dir or [])
+    report = analyze_history(history, config, metric_prefixes=args.metric or [])
+    if not history.series:
+        # An empty or bench-free registry is a fresh checkout, not an
+        # error: degrade to a clean message and exit 0 (even --strict).
+        print(
+            f"no bench history under {args.runs_dir} — `repro bench` "
+            "appends the records the sentinel watches."
+        )
+        if args.json:
+            _write_json_doc(args.json, report.to_json())
+        return 0
+    print(render_sentinel(report))
+    if history.skipped:
+        noun = "source" if history.skipped == 1 else "sources"
+        print(
+            f"warning: skipped {history.skipped} unreadable {noun} "
+            f"(registry lines / bench files)",
+            file=sys.stderr,
+        )
+    if args.json:
+        _write_json_doc(args.json, report.to_json())
+    if args.strict and report.regressions():
+        return 1
     return 0
 
 
@@ -1015,6 +1093,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also print the classic pstats table (cumulative-time sorted)",
     )
+    prof_p.add_argument(
+        "--mem",
+        action="store_true",
+        help="also run a tracemalloc pass: peak/current heap and top "
+        "allocation sites folded to the phase taxonomy "
+        "(profile.mem.json)",
+    )
+    prof_p.add_argument(
+        "--mem-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="allocation sites kept by --mem (default: 10)",
+    )
     prof_p.set_defaults(func=_cmd_profile)
 
     pm_p = sub.add_parser(
@@ -1067,19 +1159,33 @@ def main(argv: list[str] | None = None) -> int:
         help="host-time ledger sampling stride on the attribution "
         "repetition (default: 4)",
     )
+    bench_p.add_argument(
+        "--mem-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="allocation sites kept in each case's mem block (default: 10)",
+    )
     add_record_args(bench_p)
     bench_p.set_defaults(func=_cmd_bench)
 
     cmp_p = sub.add_parser(
         "compare",
-        help="noise-aware diff of two bench files or run records",
+        help="noise-aware diff of bench files or run records "
+        "(two or more, oldest first)",
     )
-    cmp_p.add_argument("a", help="baseline: BENCH_<n>.json, record JSON or runs.jsonl")
-    cmp_p.add_argument("b", help="candidate (same kind as the baseline)")
+    cmp_p.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="two or more files of one kind, oldest first: BENCH_<n>.json, "
+        "record JSON or runs.jsonl; N>2 chains adjacent pairs",
+    )
     cmp_p.add_argument(
         "--strict",
         action="store_true",
-        help="exit non-zero when any metric regressed (default: warn only)",
+        help="exit non-zero when any metric regressed in any step "
+        "(default: warn only)",
     )
     cmp_p.add_argument(
         "--gate",
@@ -1088,7 +1194,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="METRIC",
         help="with --strict, only exit non-zero when one of these metrics "
         "regressed (exact name or dotted prefix, repeatable; e.g. "
-        "cycles_per_second, events, host.sa_st)",
+        "cycles_per_second, events, host.sa_st, mem.peak_bytes)",
     )
     cmp_p.add_argument(
         "--rel-floor",
@@ -1102,7 +1208,67 @@ def main(argv: list[str] | None = None) -> int:
         default=1.5,
         help="IQR multiplier of the noise threshold (default: 1.5)",
     )
+    cmp_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the verdicts as one machine-readable JSON document",
+    )
     cmp_p.set_defaults(func=_cmd_compare)
+
+    regress_p = sub.add_parser(
+        "regress",
+        help="regression sentinel: changepoint detection over the run "
+        "registry's bench history",
+    )
+    regress_p.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="registry directory to analyze (default: runs)",
+    )
+    regress_p.add_argument(
+        "--bench-dir",
+        action="append",
+        default=None,
+        metavar="DIR",
+        help="also harvest BENCH_<n>.json files from this directory "
+        "(repeatable)",
+    )
+    regress_p.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="only analyze metrics with this prefix (repeatable; e.g. "
+        "cycles_per_second, host, mem, digest)",
+    )
+    regress_p.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="sliding-window width of the changepoint test (default: 8)",
+    )
+    regress_p.add_argument(
+        "--min-history",
+        type=int,
+        default=6,
+        metavar="N",
+        help="finite observations below which a metric reads "
+        "insufficient-history (default: 6)",
+    )
+    regress_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any metric regressed (default: warn only)",
+    )
+    regress_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the sentinel report as JSON",
+    )
+    regress_p.set_defaults(func=_cmd_regress)
 
     diff_p = sub.add_parser(
         "diff",

@@ -34,6 +34,14 @@
 * :class:`HostTimeLedger` — host wall-time attribution across engine /
   router / link / PHY phases plus cProfile→speedscope folding, driven by
   ``repro profile`` (``repro.telemetry.hostprof``);
+* :class:`MemLedger` — tracemalloc/``ru_maxrss`` heap observability with
+  allocation sites folded to the same phase taxonomy, riding an untimed
+  ``repro bench`` rep and ``repro profile --mem``
+  (``repro.telemetry.memprof``);
+* :func:`load_history` / :func:`analyze_history` — per-metric time
+  series over the registry's bench records and the rank-based
+  changepoint sentinel behind ``repro regress``
+  (``repro.telemetry.history`` / ``repro.telemetry.sentinel``);
 * :class:`RunStore` / :class:`RunRecord` — the append-only cross-run
   registry under ``runs/`` (``repro.telemetry.runstore``);
 * :mod:`repro.telemetry.bench` / :mod:`repro.telemetry.compare` /
@@ -96,6 +104,7 @@ from .forensics import (
     validate_bundle,
     write_bundle,
 )
+from .history import MetricSeries, RunHistory, SeriesPoint, load_history
 from .hostprof import (
     PHASES as HOST_PHASES,  # package-level alias: avoids clashing with attribution.STAGES
     HostprofError,
@@ -112,6 +121,13 @@ from .live import (
     read_feed,
     validate_live_event,
 )
+from .memprof import (
+    MEM_SCHEMA_VERSION,
+    MemLedger,
+    MemProfError,
+    render_mem_table,
+    validate_mem_block,
+)
 from .metrics import EpochMetrics, EpochSample
 from .progress import EtaEstimator, ProgressReporter, format_eta
 from .runstore import (
@@ -120,6 +136,15 @@ from .runstore import (
     RunStore,
     RunStoreError,
     record_from_result,
+)
+from .sentinel import (
+    SENTINEL_SCHEMA_VERSION,
+    MetricReport,
+    SentinelConfig,
+    SentinelReport,
+    analyze_history,
+    detect_changepoint,
+    render_sentinel,
 )
 from .session import TelemetryConfig, TelemetrySession
 from .trace import ChromeTraceBuilder
@@ -148,9 +173,18 @@ __all__ = [
     "LatencyLedger",
     "LiveFeed",
     "LiveFeedError",
+    "MEM_SCHEMA_VERSION",
+    "MemLedger",
+    "MemProfError",
+    "MetricReport",
+    "MetricSeries",
     "NULL_BUS",
     "RUN_SCHEMA_VERSION",
+    "SENTINEL_SCHEMA_VERSION",
     "STAGES",
+    "SentinelConfig",
+    "SentinelReport",
+    "SeriesPoint",
     "render_breakdown",
     "TelemetryBus",
     "EpochMetrics",
@@ -160,17 +194,20 @@ __all__ = [
     "MetricVerdict",
     "ProgressReporter",
     "RunDigest",
+    "RunHistory",
     "RunRecord",
     "RunStore",
     "RunStoreError",
     "TelemetryConfig",
     "TelemetrySession",
     "ChromeTraceBuilder",
+    "analyze_history",
     "capture_bundle",
     "check_golden_file",
     "compare_bench",
     "compare_paths",
     "compare_records",
+    "detect_changepoint",
     "diff_runs",
     "digests_comparable",
     "feed_status",
@@ -187,14 +224,18 @@ __all__ = [
     "format_eta",
     "live_feed_path",
     "load_bundle",
+    "load_history",
     "record_from_result",
     "render_bundle_html",
     "render_bundle_text",
     "render_host_table",
+    "render_mem_table",
+    "render_sentinel",
     "read_feed",
     "run_bench",
     "validate_bundle",
     "validate_live_event",
+    "validate_mem_block",
     "validate_speedscope",
     "write_bundle",
 ]

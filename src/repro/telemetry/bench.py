@@ -111,7 +111,7 @@ def _median_iqr(samples: Sequence[float]) -> tuple[float, float]:
 
 
 def _run_case(
-    case: BenchCase, scale: str, reps: int, seed: int, host_stride: int
+    case: BenchCase, scale: str, reps: int, seed: int, host_stride: int, mem_top: int
 ) -> dict[str, Any]:
     from repro.sim.build import build_network
     from repro.sim.config import SimConfig
@@ -188,6 +188,16 @@ def _run_case(
     )
     host = host_result.telemetry.hostprof.record_summary()
 
+    # And one final untimed repetition under the memory ledger (tracing
+    # roughly doubles allocation cost, so it can never ride a timed rep):
+    # peak/current heap plus top allocation sites folded to the same
+    # phase taxonomy as the host block.
+    from .memprof import MemLedger
+
+    with MemLedger(top_n=mem_top) as mem_ledger:
+        run_synthetic(spec, case.pattern, case.rate, seed=seed)
+    mem = mem_ledger.record_summary()
+
     wall_median, wall_iqr = _median_iqr(walls)
     cps_median, cps_iqr = _median_iqr(cps)
     return {
@@ -205,6 +215,7 @@ def _run_case(
         "events": counters.nonzero(),
         "digest": digest.summary(),
         "host": host,
+        "mem": mem,
         "stats": {
             "avg_latency": result.avg_latency,
             "packets_delivered": result.stats.packets_delivered,
@@ -221,13 +232,15 @@ def run_bench(
     cases: Optional[Sequence[BenchCase]] = None,
     git_rev: Optional[str] = None,
     host_stride: int = 4,
+    mem_top: int = 10,
 ) -> dict[str, Any]:
     """Execute the suite and return the (not yet written) bench document.
 
     ``host_stride`` controls the host-time ledger's sampling stride on
     the extra attribution repetition (see
     :class:`~repro.telemetry.hostprof.HostTimeLedger`); the timed
-    repetitions always run unledgered.
+    repetitions always run unledgered.  ``mem_top`` caps the allocation
+    sites kept in each case's ``mem`` block (its own untimed rep).
     """
     if scale not in _HORIZONS:
         raise ValueError(f"scale must be one of {tuple(_HORIZONS)}, got {scale!r}")
@@ -235,6 +248,8 @@ def run_bench(
         raise ValueError("reps must be >= 1")
     if host_stride < 1:
         raise ValueError("host_stride must be >= 1")
+    if mem_top < 1:
+        raise ValueError("mem_top must be >= 1")
     from .runstore import utc_now_iso
 
     suite = tuple(cases) if cases is not None else CASES
@@ -247,7 +262,7 @@ def run_bench(
         "reps": reps,
         "seed": seed,
         "cases": {
-            case.name: _run_case(case, scale, reps, seed, host_stride)
+            case.name: _run_case(case, scale, reps, seed, host_stride, mem_top)
             for case in suite
         },
     }
@@ -305,8 +320,10 @@ def render_bench(doc: dict[str, Any]) -> str:
         f"(scale={doc.get('scale')}, reps={doc.get('reps')}, "
         f"created {doc.get('created', '?')})",
         f"{'case':>24s} {'cyc/s med':>12s} {'cyc/s IQR':>12s} "
-        f"{'wall med':>10s} {'avg_lat':>8s}  {'top host phase':<16s}",
+        f"{'wall med':>10s} {'avg_lat':>8s} {'peak heap':>10s}  {'top host phase':<16s}",
     ]
+    from .memprof import fmt_bytes
+
     for name, case in doc.get("cases", {}).items():
         cps = case["cps"]
         top_phase = ""
@@ -321,9 +338,11 @@ def render_bench(doc: dict[str, Any]) -> str:
         )
         if ranked:
             top_phase = f"{ranked[0][0]} {ranked[0][1]:.0%}"
+        mem = case.get("mem") or {}
+        peak = fmt_bytes(mem["peak_bytes"]) if "peak_bytes" in mem else "n/a"
         lines.append(
             f"{name:>24s} {cps['median']:>12,.0f} {cps['iqr']:>12,.0f} "
             f"{case['wall_s']['median']:>9.3f}s "
-            f"{case['stats']['avg_latency']:>8.1f}  {top_phase:<16s}"
+            f"{case['stats']['avg_latency']:>8.1f} {peak:>10s}  {top_phase:<16s}"
         )
     return "\n".join(lines)

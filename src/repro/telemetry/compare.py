@@ -9,8 +9,13 @@ where the IQR comes from the bench repetitions (zero for single run
 records).  A metric moves past the threshold in the wrong direction →
 ``regressed``; in the right direction → ``improved``; otherwise
 ``noise``.  ``repro compare`` prints one verdict per metric and exits
-non-zero only under ``--strict`` (the warn-only CI gate of
-``docs/perf.md``).
+non-zero only when ``--strict`` is given *and* at least one (gated)
+metric regressed — without ``--strict`` it always exits 0, which is the
+warn-only CI mode of ``docs/perf.md``.
+
+Given more than two operands, ``repro compare`` chains them in the
+given order (oldest first) and renders one table of adjacent-step
+verdicts; ``--json PATH`` writes the verdicts machine-readably.
 
 Pure stdlib; knows nothing about the simulator.
 """
@@ -38,6 +43,11 @@ HOST_REL_FLOOR = 0.25
 #: skipped by :func:`compare_bench` — a 0.5% phase tripling is noise in
 #: absolute terms but would read as a 200% regression.
 HOST_MIN_SHARE = 0.02
+#: Relative floor for peak-heap comparisons.  A single untimed tracing
+#: repetition backs the ``mem`` block (no IQR) and allocator behaviour
+#: shifts a few percent run to run, so only double-digit movements are
+#: signal.
+MEM_REL_FLOOR = 0.10
 
 
 @dataclass
@@ -62,6 +72,23 @@ class MetricVerdict:
         if self.a == 0 or math.isnan(self.a) or math.isnan(self.b):
             return math.nan
         return (self.b - self.a) / abs(self.a)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form for ``repro compare --json`` (NaN → null)."""
+
+        def num(value: float) -> Optional[float]:
+            return None if math.isnan(value) else value
+
+        return {
+            "case": self.case,
+            "metric": self.metric,
+            "a": num(self.a),
+            "b": num(self.b),
+            "threshold": num(self.threshold),
+            "higher_is_better": self.higher_is_better,
+            "rel_delta": num(self.rel_delta),
+            "verdict": self.verdict,
+        }
 
 
 def classify(
@@ -159,8 +186,33 @@ def compare_bench(
                 )
             )
         verdicts.extend(_compare_host(name, ca.get("host"), cb.get("host")))
+        verdicts.append(_compare_mem(name, ca.get("mem"), cb.get("mem")))
         verdicts.append(_compare_digest(name, ca.get("digest"), cb.get("digest")))
     return verdicts
+
+
+def _compare_mem(case: str, ma: Optional[dict], mb: Optional[dict]) -> MetricVerdict:
+    """One ``mem.peak_bytes`` verdict between two ``mem`` blocks.
+
+    Pre-mem bench files carry no ``mem`` block — the verdict then reads
+    ``n/a`` rather than failing the compare.  Lower peak heap is better;
+    the wide :data:`MEM_REL_FLOOR` keeps allocator jitter out.
+    """
+
+    def peak(block: Optional[dict]) -> float:
+        if isinstance(block, dict) and isinstance(block.get("peak_bytes"), (int, float)):
+            return float(block["peak_bytes"])
+        return math.nan
+
+    return classify(
+        case,
+        "mem.peak_bytes",
+        peak(ma),
+        peak(mb),
+        higher_is_better=False,
+        iqr=0.0,
+        rel_floor=MEM_REL_FLOOR,
+    )
 
 
 def _compare_digest(
@@ -320,6 +372,80 @@ def compare_paths(
     if kind_a == "bench":
         return compare_bench(a, b, rel_floor=rel_floor, k=k)
     return compare_records(a, b, rel_floor=rel_floor, k=k)
+
+
+def compare_chain(
+    paths: Sequence[str | Path],
+    *,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    k: float = DEFAULT_IQR_K,
+) -> list[tuple[str, str, list[MetricVerdict]]]:
+    """Adjacent-pair verdicts across N files given oldest → newest.
+
+    Every operand must load as the same kind (all bench or all record);
+    each returned step is ``(label_a, label_b, verdicts)`` with labels
+    taken from the file names.  Two paths degenerate to one step — the
+    classic A/B compare.
+    """
+    if len(paths) < 2:
+        raise ValueError("compare_chain needs at least two paths")
+    loaded = [load_comparable(path) for path in paths]
+    kinds = {kind for kind, _ in loaded}
+    if len(kinds) > 1:
+        raise ValueError(
+            f"cannot compare mixed kinds ({', '.join(sorted(kinds))}) across "
+            f"{len(paths)} operands"
+        )
+    kind = loaded[0][0]
+    steps: list[tuple[str, str, list[MetricVerdict]]] = []
+    for (before_path, (_, before)), (after_path, (_, after)) in zip(
+        zip(paths, loaded), zip(paths[1:], loaded[1:])
+    ):
+        if kind == "bench":
+            verdicts = compare_bench(before, after, rel_floor=rel_floor, k=k)
+        else:
+            verdicts = compare_records(before, after, rel_floor=rel_floor, k=k)
+        steps.append((Path(before_path).name, Path(after_path).name, verdicts))
+    return steps
+
+
+def render_chain(steps: Sequence[tuple[str, str, list[MetricVerdict]]]) -> str:
+    """One combined table across every chained comparison step."""
+    if len(steps) == 1:
+        label_a, label_b, verdicts = steps[0]
+        return render_comparison(verdicts, label_a=label_a, label_b=label_b)
+    blocks = []
+    total = 0
+    for index, (label_a, label_b, verdicts) in enumerate(steps, start=1):
+        total += len(regressions(verdicts))
+        blocks.append(f"step {index}/{len(steps)}: {label_a} -> {label_b}")
+        blocks.append(render_comparison(verdicts, label_a="before", label_b="after"))
+        blocks.append("")
+    blocks.append(f"chain total: {total} regression(s) across {len(steps)} step(s)")
+    return "\n".join(blocks)
+
+
+def chain_report(
+    steps: Sequence[tuple[str, str, list[MetricVerdict]]],
+    *,
+    gate: Optional[Sequence[str]] = None,
+) -> dict[str, Any]:
+    """The machine-readable ``repro compare --json`` document."""
+    return {
+        "kind": "compare",
+        "steps": [
+            {
+                "a": label_a,
+                "b": label_b,
+                "verdicts": [v.to_dict() for v in verdicts],
+                "regressions": len(regressions(verdicts, gate=gate)),
+            }
+            for label_a, label_b, verdicts in steps
+        ],
+        "regressions": sum(
+            len(regressions(verdicts, gate=gate)) for _, _, verdicts in steps
+        ),
+    }
 
 
 def regressions(

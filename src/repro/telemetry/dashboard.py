@@ -249,7 +249,7 @@ def hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
     """
     from repro.viz import svg_line_chart, svg_stacked_bars
 
-    from .hostprof import PHASES, RESIDUAL_PHASE
+    from .hostprof import ALL_PHASES
 
     store = RunStore(runs_dir)
     records = [
@@ -303,7 +303,7 @@ def hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
 
     segments = [
         phase
-        for phase in (*PHASES, RESIDUAL_PHASE)
+        for phase in ALL_PHASES
         if any(shares_of(case).get(phase) for case in latest.bench.values())
     ]
     if segments:
@@ -329,6 +329,113 @@ def hostperf_section(runs_dir: Path, max_records: int = 12) -> str:
         f"seed={html.escape(str(latest.seed))})</p>"
     )
     return f"<figure>{chart}</figure>{phase_figure}{meta}"
+
+
+def sentinel_section(
+    runs_dir: Path, bench_dirs: Optional[list[Path]] = None
+) -> str:
+    """Regression-sentinel panel: verdicts + annotated trajectory charts.
+
+    Runs the changepoint detector (:mod:`repro.telemetry.sentinel`) over
+    the registry's bench history and renders one throughput chart per
+    case with detected changepoints as dashed marks
+    (:func:`repro.viz.svg_annotated_line`), above the verdict table
+    ``repro regress`` prints.  Shares the "no bench history" placeholder
+    discipline with :func:`hostperf_section`.
+    """
+    from repro.viz import svg_annotated_line
+
+    from .history import load_history
+    from .memprof import fmt_bytes
+    from .sentinel import analyze_history
+
+    history = load_history(runs_dir, bench_dirs=bench_dirs or [])
+    if not history.series:
+        return (
+            '<p class="empty">no bench history yet — the regression '
+            "sentinel watches the registry's <code>repro bench</code> "
+            "records; run the suite a few times to grow a trajectory.</p>"
+        )
+    report = analyze_history(history)
+    by_case_cp = {
+        r.case: r
+        for r in report.reports
+        if r.metric == "cycles_per_second" and r.changepoint is not None
+    }
+    figures = []
+    for case in history.cases():
+        series = history.get(case, "cycles_per_second")
+        if series is None or series.finite_count() == 0:
+            continue
+        xs = [float(i) for i in range(len(series.points))]
+        ys = series.values
+        annotations = []
+        cp_report = by_case_cp.get(case)
+        if cp_report is not None and cp_report.changepoint is not None:
+            annotations.append(
+                (
+                    float(cp_report.changepoint.index),
+                    f"changepoint @ {cp_report.changepoint_key or '?'}",
+                )
+            )
+        figures.append(
+            "<figure>"
+            + svg_annotated_line(
+                [(case, xs, ys)],
+                annotations=annotations,
+                height=220,
+                title=f"{case}: throughput trajectory",
+                x_label="suite run (oldest first)",
+                y_label="cycles / second",
+                y_zero=True,
+            )
+            + "</figure>"
+        )
+
+    def fmt_metric(metric: str, value: float) -> str:
+        if not (isinstance(value, float) and math.isfinite(value)):
+            return "n/a"
+        if metric == "mem.peak_bytes":
+            return fmt_bytes(value)
+        if metric == "digest.stable":
+            return "stable" if value == 1.0 else "DIVERGED"
+        return fmt_value(value)
+
+    rows = []
+    for r in report.reports:
+        if r.verdict == "n/a":
+            continue  # metrics this history never carried: pure noise rows
+        verdict = html.escape(r.verdict)
+        if r.verdict == "regressed":
+            verdict = f'<span class="alarm">{verdict}</span>'
+        where = html.escape(r.changepoint_key) if r.changepoint_key else "&mdash;"
+        culprit = html.escape(r.culprit) if r.culprit else "&mdash;"
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(r.case)}</td>"
+            f"<td>{html.escape(r.metric)}</td>"
+            f"<td>{r.finite_points}</td>"
+            f"<td>{fmt_metric(r.metric, r.baseline)}</td>"
+            f"<td>{fmt_metric(r.metric, r.latest)}</td>"
+            f"<td>{verdict}</td>"
+            f"<td>{where}</td>"
+            f"<td>{culprit}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>case</th><th>metric</th><th>runs</th>"
+        "<th>baseline</th><th>latest</th><th>verdict</th>"
+        "<th>changepoint</th><th>culprit</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        if rows
+        else '<p class="empty">no analyzable metrics in the bench history yet.</p>'
+    )
+    meta = (
+        f'<p class="meta">{history.runs} suite run(s) analyzed, '
+        f"{len(report.regressions())} regression(s) — "
+        f"<code>repro regress</code> prints this table.</p>"
+    )
+    return "".join(figures) + table + meta
 
 
 def breakdown_section(runs_dir: Path, max_bars: int = 4) -> str:
@@ -662,6 +769,8 @@ def build_dashboard(
         bench_section(dirs),
         "<h2>Host performance</h2>",
         hostperf_section(Path(runs_dir)),
+        "<h2>Regression sentinel</h2>",
+        sentinel_section(Path(runs_dir), bench_dirs=dirs),
         "<h2>Latency attribution</h2>",
         breakdown_section(Path(runs_dir)),
         "<h2>Run health</h2>",

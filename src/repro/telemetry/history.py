@@ -1,0 +1,347 @@
+"""Per-metric time series over the run registry (`repro regress` input).
+
+``repro compare`` diffs two hand-picked artifacts; the sentinel needs
+the whole trajectory.  This module turns the append-only registry
+(``runs/runs.jsonl``, the ``kind="bench"`` records `repro bench` has
+appended since PR 7) plus any stored ``BENCH_<n>.json`` files into
+aligned per-case, per-metric series:
+
+* ``cycles_per_second`` — median suite throughput (higher is better);
+* ``host.<phase>`` — per-phase ns/cycle from the host-time ledger
+  (lower is better), plus auxiliary ``host.<phase>.share`` series the
+  sentinel uses only for culprit hints;
+* ``mem.peak_bytes`` — peak traced heap of the untimed memory rep
+  (lower is better); ``NaN`` for pre-mem artifacts;
+* ``digest.stable`` — 1.0 when a run's event-digest chain matches the
+  previous comparable run's, 0.0 when it differs under the same config,
+  ``NaN`` when incomparable (config changed, missing digests).
+
+Observations from bench files and registry records describing the same
+suite run (same ``created`` stamp) are deduplicated; loading is
+strict/lenient exactly like :class:`~repro.telemetry.runstore.RunStore`
+— lenient mode counts unreadable sources in :attr:`RunHistory.skipped`
+instead of raising.
+
+Pure stdlib, no simulator imports at module load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One observation of one metric: where it came from and its value."""
+
+    key: str  #: run_id or bench file name — what `repro regress` prints
+    created: str  #: ISO-8601 UTC stamp; the series sort key
+    git_rev: str
+    config_hash: str
+    value: float  #: NaN when this run did not carry the metric
+
+
+@dataclass
+class MetricSeries:
+    """One metric's trajectory for one bench case, oldest first."""
+
+    case: str
+    metric: str
+    higher_is_better: bool
+    points: list[SeriesPoint] = field(default_factory=list)
+    #: Auxiliary series feed culprit hints only — the sentinel never
+    #: issues verdicts on them (e.g. ``host.<phase>.share``).
+    auxiliary: bool = False
+
+    @property
+    def values(self) -> list[float]:
+        return [p.value for p in self.points]
+
+    def finite_count(self) -> int:
+        return sum(1 for p in self.points if math.isfinite(p.value))
+
+
+@dataclass
+class RunHistory:
+    """Every extracted series, keyed ``(case, metric)``, plus load stats."""
+
+    series: dict[tuple[str, str], MetricSeries] = field(default_factory=dict)
+    runs: int = 0  #: deduplicated suite runs contributing observations
+    skipped: int = 0  #: unreadable registry lines / bench files (lenient)
+
+    def cases(self) -> list[str]:
+        return sorted({case for case, _ in self.series})
+
+    def get(self, case: str, metric: str) -> Optional[MetricSeries]:
+        return self.series.get((case, metric))
+
+    def ordered(self) -> list[MetricSeries]:
+        """Primary (non-auxiliary) series in stable render order."""
+        return [
+            self.series[key]
+            for key in sorted(self.series)
+            if not self.series[key].auxiliary
+        ]
+
+
+# ---------------------------------------------------------------------------
+# observation harvesting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Observation:
+    """One suite run's raw per-case facts, before series alignment."""
+
+    key: str
+    created: str
+    git_rev: str
+    config_hash: str
+    cps: float = NAN
+    host_ns: dict[str, float] = field(default_factory=dict)
+    host_shares: dict[str, float] = field(default_factory=dict)
+    mem_peak: float = NAN
+    digest_final: Optional[str] = None
+    digest_cycles: Optional[int] = None
+
+
+def _num(value: Any) -> float:
+    """A finite float, or NaN for anything missing or malformed."""
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return NAN
+
+
+def _host_blocks(host: Any) -> tuple[dict[str, float], dict[str, float]]:
+    if not isinstance(host, dict):
+        return {}, {}
+    ns = {
+        str(k): _num(v)
+        for k, v in (host.get("ns_per_cycle") or {}).items()
+        if math.isfinite(_num(v))
+    }
+    shares = {
+        str(k): _num(v)
+        for k, v in (host.get("shares") or {}).items()
+        if math.isfinite(_num(v))
+    }
+    return ns, shares
+
+
+def _mem_peak(mem: Any) -> float:
+    if isinstance(mem, dict):
+        return _num(mem.get("peak_bytes"))
+    return NAN
+
+
+def _observations_from_bench_doc(doc: dict[str, Any], key: str) -> dict[str, _Observation]:
+    per_case: dict[str, _Observation] = {}
+    created = str(doc.get("created", ""))
+    git_rev = str(doc.get("git_rev", "unknown"))
+    for case_name, case in (doc.get("cases") or {}).items():
+        if not isinstance(case, dict):
+            continue
+        obs = _Observation(
+            key=key,
+            created=created,
+            git_rev=git_rev,
+            config_hash=str(case.get("config_hash", "")),
+        )
+        cps = case.get("cps")
+        obs.cps = _num(cps.get("median")) if isinstance(cps, dict) else NAN
+        obs.host_ns, obs.host_shares = _host_blocks(case.get("host"))
+        obs.mem_peak = _mem_peak(case.get("mem"))
+        digest = case.get("digest")
+        if isinstance(digest, dict) and digest.get("final"):
+            obs.digest_final = str(digest["final"])
+            cycles = digest.get("cycles")
+            obs.digest_cycles = int(cycles) if isinstance(cycles, int) else None
+        per_case[str(case_name)] = obs
+    return per_case
+
+
+def _observations_from_record(record: Any) -> dict[str, _Observation]:
+    """Per-case facts from one ``kind="bench"`` registry record.
+
+    Tolerates records written by older builds: missing ``mem`` /
+    ``digest_final`` keys simply yield NaN / None observations.
+    """
+    per_case: dict[str, _Observation] = {}
+    bench = getattr(record, "bench", None) or {}
+    for case_name, summary in bench.items():
+        if not isinstance(summary, dict):
+            continue
+        obs = _Observation(
+            key=str(getattr(record, "run_id", "")),
+            created=str(getattr(record, "created", "")),
+            git_rev=str(getattr(record, "git_rev", "unknown")),
+            config_hash=str(getattr(record, "config_hash", "")),
+            cps=_num(summary.get("cps_median")),
+        )
+        obs.host_ns, obs.host_shares = _host_blocks(summary.get("host"))
+        obs.mem_peak = _mem_peak(summary.get("mem"))
+        final = summary.get("digest_final")
+        if isinstance(final, str) and final:
+            obs.digest_final = final
+        per_case[str(case_name)] = obs
+    return per_case
+
+
+# ---------------------------------------------------------------------------
+# series alignment
+# ---------------------------------------------------------------------------
+
+
+def _digest_stability(observations: list[_Observation]) -> list[float]:
+    """1.0 match / 0.0 mismatch / NaN incomparable, per observation."""
+    flags: list[float] = []
+    previous: Optional[_Observation] = None
+    for obs in observations:
+        if obs.digest_final is None:
+            flags.append(NAN)
+            continue
+        comparable = (
+            previous is not None
+            and previous.digest_final is not None
+            and previous.config_hash == obs.config_hash
+            and previous.config_hash != ""
+            and previous.digest_cycles == obs.digest_cycles
+        )
+        if not comparable:
+            flags.append(NAN)
+        else:
+            assert previous is not None
+            flags.append(1.0 if obs.digest_final == previous.digest_final else 0.0)
+        previous = obs
+    return flags
+
+
+def _series_for_case(case: str, observations: list[_Observation]) -> list[MetricSeries]:
+    def points(values: Iterable[float]) -> list[SeriesPoint]:
+        return [
+            SeriesPoint(o.key, o.created, o.git_rev, o.config_hash, v)
+            for o, v in zip(observations, values)
+        ]
+
+    series = [
+        MetricSeries(
+            case,
+            "cycles_per_second",
+            higher_is_better=True,
+            points=points(o.cps for o in observations),
+        )
+    ]
+    phases = sorted({p for o in observations for p in o.host_ns})
+    for phase in phases:
+        series.append(
+            MetricSeries(
+                case,
+                f"host.{phase}",
+                higher_is_better=False,
+                points=points(o.host_ns.get(phase, NAN) for o in observations),
+            )
+        )
+        series.append(
+            MetricSeries(
+                case,
+                f"host.{phase}.share",
+                higher_is_better=False,
+                points=points(o.host_shares.get(phase, NAN) for o in observations),
+                auxiliary=True,
+            )
+        )
+    series.append(
+        MetricSeries(
+            case,
+            "mem.peak_bytes",
+            higher_is_better=False,
+            points=points(o.mem_peak for o in observations),
+        )
+    )
+    series.append(
+        MetricSeries(
+            case,
+            "digest.stable",
+            higher_is_better=True,
+            points=points(_digest_stability(observations)),
+        )
+    )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def load_history(
+    runs_dir: str | Path | None = "runs",
+    *,
+    bench_dirs: Iterable[str | Path] = (),
+    strict: bool = False,
+) -> RunHistory:
+    """Harvest the registry + bench files into an aligned :class:`RunHistory`.
+
+    ``runs_dir=None`` skips the registry entirely.  In lenient mode
+    (default) unreadable registry lines and malformed bench files are
+    counted in ``RunHistory.skipped`` rather than raised, mirroring
+    ``RunStore.load(strict=False)``.
+    """
+    from .bench import bench_files, load_bench
+
+    skipped = 0
+    # (created, key) -> per-case observations; bench files win over the
+    # registry record describing the same suite run (they carry the
+    # per-case config hash and the full digest block).
+    harvested: dict[str, dict[str, _Observation]] = {}
+
+    for directory in bench_dirs:
+        for path in bench_files(directory):
+            try:
+                doc = load_bench(path)
+            except (ValueError, OSError):
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            created = str(doc.get("created", ""))
+            harvested[created] = _observations_from_bench_doc(doc, path.name)
+
+    if runs_dir is not None:
+        from .runstore import RunStore
+
+        store = RunStore(runs_dir)
+        records = store.load(strict=strict)
+        skipped += store.skipped
+        for record in records:
+            if getattr(record, "kind", "") != "bench" or not getattr(record, "bench", None):
+                continue
+            created = str(getattr(record, "created", ""))
+            if created in harvested:
+                continue  # the bench file already covers this suite run
+            harvested[created] = _observations_from_record(record)
+
+    history = RunHistory(skipped=skipped, runs=len(harvested))
+    if not harvested:
+        return history
+
+    ordered_runs = [harvested[created] for created in sorted(harvested)]
+    cases = sorted({case for run in ordered_runs for case in run})
+    for case in cases:
+        observations = [run[case] for run in ordered_runs if case in run]
+        for metric_series in _series_for_case(case, observations):
+            history.series[(case, metric_series.metric)] = metric_series
+    return history
+
+
+__all__ = [
+    "MetricSeries",
+    "RunHistory",
+    "SeriesPoint",
+    "load_history",
+]

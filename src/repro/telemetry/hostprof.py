@@ -61,6 +61,11 @@ PHASES: tuple[str, ...] = (
 #: activity-flag maintenance and the timers themselves.
 RESIDUAL_PHASE = "dispatch"
 
+#: Every phase a summary can carry, in rendering order — the timed
+#: taxonomy plus the residual.  Shared by the dashboard's stacked bars
+#: and the memory ledger's site folding so the panels line up.
+ALL_PHASES: tuple[str, ...] = (*PHASES, RESIDUAL_PHASE)
+
 #: Default conservation tolerance: attributed time must reach this
 #: fraction of the timed-loop total (mirrors the 5% acceptance budget).
 CONSERVATION_TOLERANCE = 0.05
@@ -437,6 +442,7 @@ def load_speedscope(path: str | Path) -> dict[str, Any]:
 
 
 __all__ = [
+    "ALL_PHASES",
     "CONSERVATION_TOLERANCE",
     "HostTimeLedger",
     "HostprofError",

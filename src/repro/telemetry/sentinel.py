@@ -1,0 +1,401 @@
+"""History-aware regression detection over the run registry
+(``repro regress``).
+
+:mod:`~repro.telemetry.history` turns the registry into per-metric time
+series; this module watches them.  For every primary series it runs a
+**rank-based sliding-window changepoint test** — dependency-free and
+robust by construction:
+
+* For each candidate split, compare the window before against the
+  window after with a normalized Mann-Whitney statistic (the fraction
+  of (pre, post) pairs where the later value wins; ties count half).
+  ``effect = |2u - 1|`` is 1.0 for a clean step and ~0 for noise, and
+  never looks at magnitudes — a single wild outlier cannot fake it.
+* A candidate only stands when the median shift across the split also
+  clears a noise band, ``max(rel_floor * |median(pre)|, k * IQR(pre))``
+  — the same discipline as ``repro compare``, so jitter that compare
+  would call noise never becomes a changepoint.
+* The verdict then compares the **trailing** window against the
+  pre-changepoint level: a regression that was since fixed reads
+  ``ok`` (with the changepoint still reported), not a stale alarm.
+
+Verdicts are ``ok`` / ``regressed`` / ``improved`` /
+``insufficient-history`` / ``n/a``.  For ``cycles_per_second``
+regressions the report adds a culprit hint: the host phase whose
+wall-time share moved most across the changepoint.
+
+Pure stdlib, no simulator imports at module load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Iterable, Optional, Sequence
+
+from .history import MetricSeries, RunHistory
+
+#: Version stamp of the ``repro regress --json`` report document.
+SENTINEL_SCHEMA_VERSION = 1
+
+#: Share shift (absolute, in share units) below which a host phase is
+#: not worth naming as a culprit: 0.005 = half a percentage point.
+MIN_CULPRIT_SHARE_SHIFT = 0.005
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Detector knobs, mirroring ``repro regress`` flags."""
+
+    window: int = 8  #: sliding-window width on each side of a split
+    min_history: int = 6  #: finite points below which no verdict is issued
+    min_segment: int = 3  #: smallest usable window at the series edges
+    rel_floor: float = 0.05  #: relative noise floor on the median shift
+    iqr_k: float = 1.5  #: IQR multiplier of the noise band
+    min_effect: float = 0.85  #: rank-effect threshold (1.0 = clean step)
+
+    def __post_init__(self) -> None:
+        if self.window < self.min_segment:
+            raise ValueError("window must be >= min_segment")
+        if self.min_segment < 2:
+            raise ValueError("min_segment must be >= 2")
+        if not 0.0 < self.min_effect <= 1.0:
+            raise ValueError("min_effect must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """A detected step in one series, in original-series coordinates."""
+
+    index: int  #: index of the first post-step observation
+    effect: float  #: rank effect size at the split, in [0, 1]
+    shift: float  #: median(post) - median(pre)
+    pre_median: float
+    post_median: float
+
+
+@dataclass
+class MetricReport:
+    """One series' verdict, changepoint and evidence."""
+
+    case: str
+    metric: str
+    verdict: str  #: ok / regressed / improved / insufficient-history / n/a
+    higher_is_better: bool
+    finite_points: int = 0
+    latest: float = float("nan")
+    baseline: float = float("nan")  #: pre-changepoint level (or overall median)
+    changepoint: Optional[Changepoint] = None
+    changepoint_key: str = ""  #: run_id / bench file of the first shifted run
+    culprit: str = ""  #: host-phase hint for throughput regressions
+
+    @property
+    def rel_shift(self) -> float:
+        if self.changepoint is None or self.changepoint.pre_median == 0:
+            return float("nan")
+        return self.changepoint.shift / abs(self.changepoint.pre_median)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "case": self.case,
+            "metric": self.metric,
+            "verdict": self.verdict,
+            "higher_is_better": self.higher_is_better,
+            "finite_points": self.finite_points,
+            "latest": _json_num(self.latest),
+            "baseline": _json_num(self.baseline),
+            "culprit": self.culprit,
+        }
+        if self.changepoint is not None:
+            doc["changepoint"] = {
+                "index": self.changepoint.index,
+                "key": self.changepoint_key,
+                "effect": round(self.changepoint.effect, 4),
+                "shift": _json_num(self.changepoint.shift),
+                "rel_shift": _json_num(self.rel_shift),
+            }
+        return doc
+
+
+@dataclass
+class SentinelReport:
+    """Every analyzed series, plus the history's load statistics."""
+
+    reports: list[MetricReport] = field(default_factory=list)
+    runs: int = 0
+    skipped: int = 0
+
+    def regressions(self) -> list[MetricReport]:
+        return [r for r in self.reports if r.verdict == "regressed"]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema_version": SENTINEL_SCHEMA_VERSION,
+            "kind": "sentinel",
+            "runs": self.runs,
+            "skipped": self.skipped,
+            "regressions": len(self.regressions()),
+            "reports": [r.to_dict() for r in self.reports],
+        }
+
+
+def _json_num(value: float) -> Optional[float]:
+    return None if not math.isfinite(value) else value
+
+
+# ---------------------------------------------------------------------------
+# the detector
+# ---------------------------------------------------------------------------
+
+
+def _iqr(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    return ordered[(3 * n) // 4 - (n % 4 == 0)] - ordered[n // 4]
+
+
+def _rank_effect(pre: Sequence[float], post: Sequence[float]) -> float:
+    """``|2u - 1|`` of the normalized Mann-Whitney statistic."""
+    wins = 0.0
+    for a in pre:
+        for b in post:
+            if b > a:
+                wins += 1.0
+            elif b == a:
+                wins += 0.5
+    u = wins / (len(pre) * len(post))
+    return abs(2.0 * u - 1.0)
+
+
+def _noise_band(pre: Sequence[float], config: SentinelConfig) -> float:
+    return max(config.rel_floor * abs(median(pre)), config.iqr_k * _iqr(pre))
+
+
+def detect_changepoint(
+    values: Sequence[float], config: SentinelConfig = SentinelConfig()
+) -> Optional[Changepoint]:
+    """The strongest step in ``values`` that clears both gates, if any.
+
+    ``values`` may contain NaN (runs that did not carry the metric);
+    detection runs over the finite subsequence and the returned index
+    points back into the original series.
+    """
+    finite = [(i, v) for i, v in enumerate(values) if math.isfinite(v)]
+    n = len(finite)
+    best: Optional[Changepoint] = None
+    for split in range(config.min_segment, n - config.min_segment + 1):
+        pre = [v for _, v in finite[max(0, split - config.window): split]]
+        post = [v for _, v in finite[split: split + config.window]]
+        effect = _rank_effect(pre, post)
+        if effect < config.min_effect:
+            continue
+        shift = median(post) - median(pre)
+        if abs(shift) <= _noise_band(pre, config):
+            continue
+        candidate = Changepoint(
+            index=finite[split][0],
+            effect=effect,
+            shift=shift,
+            pre_median=median(pre),
+            post_median=median(post),
+        )
+        if best is None or (effect, abs(shift)) > (best.effect, abs(best.shift)):
+            best = candidate
+    return best
+
+
+# ---------------------------------------------------------------------------
+# verdicts
+# ---------------------------------------------------------------------------
+
+
+def _analyze_series(series: MetricSeries, config: SentinelConfig) -> MetricReport:
+    report = MetricReport(
+        case=series.case,
+        metric=series.metric,
+        verdict="n/a",
+        higher_is_better=series.higher_is_better,
+    )
+    values = series.values
+    finite = [v for v in values if math.isfinite(v)]
+    report.finite_points = len(finite)
+    if not finite:
+        return report
+    report.latest = finite[-1]
+    report.baseline = median(finite)
+    if series.metric == "digest.stable":
+        return _analyze_stability(series, report)
+    if len(finite) < config.min_history:
+        report.verdict = "insufficient-history"
+        return report
+
+    changepoint = detect_changepoint(values, config)
+    if changepoint is None:
+        report.verdict = "ok"
+        return report
+    report.changepoint = changepoint
+    report.changepoint_key = series.points[changepoint.index].key
+    report.baseline = changepoint.pre_median
+
+    # Verdict from the *trailing* window, so a since-fixed step reads ok.
+    pre = [v for v in values[: changepoint.index] if math.isfinite(v)]
+    pre_window = pre[-config.window:]
+    trailing = finite[-config.window:]
+    drift = median(trailing) - median(pre_window)
+    if abs(drift) <= _noise_band(pre_window, config):
+        report.verdict = "ok"
+    elif (drift < 0) == series.higher_is_better:
+        report.verdict = "regressed"
+    else:
+        report.verdict = "improved"
+    return report
+
+
+def _analyze_stability(series: MetricSeries, report: MetricReport) -> MetricReport:
+    """``digest.stable`` is binary: any observed mismatch is a regression."""
+    for index, point in enumerate(series.points):
+        if point.value == 0.0:
+            report.verdict = "regressed"
+            report.changepoint = Changepoint(
+                index=index, effect=1.0, shift=-1.0, pre_median=1.0, post_median=0.0
+            )
+            report.changepoint_key = point.key
+            return report
+    report.verdict = "ok"
+    return report
+
+
+def _culprit_hint(
+    history: RunHistory, case: str, changepoint: Changepoint
+) -> str:
+    """The host phase whose wall-time share grew most across the split."""
+    best_phase, best_delta = "", 0.0
+    for (series_case, metric), series in history.series.items():
+        if series_case != case or not series.auxiliary:
+            continue
+        if not metric.startswith("host.") or not metric.endswith(".share"):
+            continue
+        pre = [
+            p.value for p in series.points[: changepoint.index] if math.isfinite(p.value)
+        ]
+        post = [
+            p.value for p in series.points[changepoint.index:] if math.isfinite(p.value)
+        ]
+        if not pre or not post:
+            continue
+        delta = median(post) - median(pre)
+        if delta > best_delta:
+            best_phase = metric[len("host."): -len(".share")]
+            best_delta = delta
+    if not best_phase or best_delta < MIN_CULPRIT_SHARE_SHIFT:
+        return ""
+    return f"{best_phase} (+{100.0 * best_delta:.1f}pp share)"
+
+
+def analyze_history(
+    history: RunHistory,
+    config: SentinelConfig = SentinelConfig(),
+    *,
+    metric_prefixes: Iterable[str] = (),
+) -> SentinelReport:
+    """Verdicts for every primary series (optionally prefix-filtered)."""
+    prefixes = tuple(metric_prefixes)
+    report = SentinelReport(runs=history.runs, skipped=history.skipped)
+    for series in history.ordered():
+        if prefixes and not any(series.metric.startswith(p) for p in prefixes):
+            continue
+        metric_report = _analyze_series(series, config)
+        if (
+            metric_report.verdict == "regressed"
+            and series.metric == "cycles_per_second"
+            and metric_report.changepoint is not None
+        ):
+            metric_report.culprit = _culprit_hint(
+                history, series.case, metric_report.changepoint
+            )
+        report.reports.append(metric_report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+_MARKS = {
+    "ok": "=",
+    "regressed": "!",
+    "improved": "+",
+    "insufficient-history": "~",
+    "n/a": "?",
+}
+
+
+def _fmt_value(metric: str, value: float) -> str:
+    if not math.isfinite(value):
+        return "n/a"
+    if metric == "mem.peak_bytes":
+        from .memprof import fmt_bytes
+
+        return fmt_bytes(value)
+    if metric == "digest.stable":
+        return "stable" if value == 1.0 else "DIVERGED"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def render_sentinel(report: SentinelReport) -> str:
+    """The ``repro regress`` verdict table."""
+    if not report.reports:
+        return (
+            "no bench history to analyze — `repro bench` appends the "
+            "records the sentinel watches."
+        )
+    header = (
+        f"{'case':<22} {'metric':<20} {'n':>3} {'baseline':>12} "
+        f"{'latest':>12} {'shift':>8}  verdict"
+    )
+    lines = [
+        f"regression sentinel over {report.runs} suite run(s)",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for r in report.reports:
+        shift = (
+            f"{100.0 * r.rel_shift:+.1f}%" if math.isfinite(r.rel_shift) else "-"
+        )
+        line = (
+            f"{r.case:<22} {r.metric:<20} {r.finite_points:>3} "
+            f"{_fmt_value(r.metric, r.baseline):>12} "
+            f"{_fmt_value(r.metric, r.latest):>12} {shift:>8}  "
+            f"{_MARKS.get(r.verdict, '?')} {r.verdict}"
+        )
+        if r.changepoint is not None and r.changepoint_key:
+            line += f" @ {r.changepoint_key}"
+        if r.culprit:
+            line += f" [culprit: {r.culprit}]"
+        lines.append(line)
+    regressed = report.regressions()
+    lines.append("")
+    lines.append(
+        f"{len(regressed)} regression(s) across "
+        f"{len(report.reports)} series"
+        + (f"; {report.skipped} unreadable source(s) skipped" if report.skipped else "")
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Changepoint",
+    "MetricReport",
+    "SENTINEL_SCHEMA_VERSION",
+    "SentinelConfig",
+    "SentinelReport",
+    "analyze_history",
+    "detect_changepoint",
+    "render_sentinel",
+]

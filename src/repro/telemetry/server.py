@@ -44,6 +44,7 @@ from .dashboard import (
     hostperf_section,
     render_page,
     runs_section,
+    sentinel_section,
     skipped_warning,
 )
 from .live import LIVE_SCHEMA_VERSION, feed_status, read_feed
@@ -289,6 +290,8 @@ class WatchService:
             self._failures_section(statuses),
             "<h2>Bench trajectory &amp; host-phase shares</h2>",
             hostperf_section(self.runs_dir),
+            "<h2>Regression sentinel</h2>",
+            sentinel_section(self.runs_dir),
             "<h2>Run health</h2>",
             health_section(self.runs_dir),
             "<h2>Determinism</h2>",

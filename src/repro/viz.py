@@ -216,6 +216,36 @@ def svg_line_chart(
     embedding pages can restyle them.  ``y_zero`` pins the y-axis to 0
     (for magnitude series like cycles/second).
     """
+    return svg_annotated_line(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        y_zero=y_zero,
+    )
+
+
+def svg_annotated_line(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    annotations: Sequence[tuple[float, str]] = (),
+    width: int = 640,
+    height: int = 300,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_zero: bool = False,
+) -> str:
+    """:func:`svg_line_chart` plus vertical event markers.
+
+    ``annotations`` is ``[(x, label), ...]`` — each renders as a dashed
+    vertical line in the alarm color with a hoverable tooltip, the
+    regression sentinel's changepoint marks on trajectory charts.
+    Markers outside the data's x-range are dropped.  With no
+    annotations the output is exactly :func:`svg_line_chart`'s.
+    """
     if not series:
         raise ValueError("series must be non-empty")
     points_by_series: list[tuple[str, list[tuple[float, float]]]] = []
@@ -292,6 +322,23 @@ def svg_line_chart(
             f'<text x="14" y="{margin_t + plot_h / 2:.1f}" text-anchor="middle" '
             f'transform="rotate(-90 14 {margin_t + plot_h / 2:.1f})" '
             f'fill="var(--text-secondary, #52514e)">{html.escape(y_label)}</text>'
+        )
+    # Changepoint / event markers: dashed verticals in the alarm color,
+    # under the data so the series markers stay hoverable.
+    alarm = f"var(--series-8, {SVG_SERIES_COLORS[7]})"
+    for ax, alabel in annotations:
+        ax = float(ax)
+        if math.isnan(ax) or not (x_min <= ax <= x_max):
+            continue
+        x = sx(ax)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="{alarm}" stroke-width="1.5" '
+            f'stroke-dasharray="5 3"><title>{html.escape(str(alabel))}</title></line>'
+        )
+        parts.append(
+            f'<text x="{x + 4:.1f}" y="{margin_t + 10}" font-size="10" '
+            f'fill="{alarm}">{html.escape(str(alabel))}</text>'
         )
     # Series: 2px polylines + hoverable markers with native tooltips.
     for index, (label, pts) in enumerate(points_by_series):

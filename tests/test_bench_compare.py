@@ -16,12 +16,15 @@ from repro.telemetry.bench import (
     write_bench,
 )
 from repro.telemetry.compare import (
+    chain_report,
     classify,
     compare_bench,
+    compare_chain,
     compare_paths,
     compare_records,
     load_comparable,
     regressions,
+    render_chain,
     render_comparison,
 )
 from .test_runstore import make_record
@@ -111,6 +114,97 @@ def test_render_comparison_table():
     assert "cycles_per_second" in text
     assert "+ improved" in text
     assert "regression(s)" in text
+
+
+def make_mem_block(peak=200_000):
+    return {
+        "schema_version": 1,
+        "top_n": 10,
+        "peak_bytes": peak,
+        "current_bytes": peak // 2,
+        "ru_maxrss_bytes": None,
+        "phases": {"other": peak},
+        "top_sites": [],
+    }
+
+
+def test_compare_bench_covers_mem_peak():
+    a = make_bench_doc(fig11={**make_case(), "mem": make_mem_block(200_000)})
+    worse = make_bench_doc(fig11={**make_case(), "mem": make_mem_block(300_000)})
+    close = make_bench_doc(fig11={**make_case(), "mem": make_mem_block(210_000)})
+    by = {v.metric: v.verdict for v in compare_bench(a, worse)}
+    assert by["mem.peak_bytes"] == "regressed"  # +50% past the 10% floor
+    by = {v.metric: v.verdict for v in compare_bench(a, close)}
+    assert by["mem.peak_bytes"] == "noise"  # +5% inside the floor
+
+
+def test_compare_bench_pre_mem_artifacts_read_na():
+    old = make_bench_doc(fig11=make_case())  # no mem block at all
+    new = make_bench_doc(fig11={**make_case(), "mem": make_mem_block()})
+    for pair in ((old, new), (new, old), (old, old)):
+        [verdict] = [v for v in compare_bench(*pair) if v.metric == "mem.peak_bytes"]
+        assert verdict.verdict == "n/a"
+        assert math.isnan(verdict.threshold)
+
+
+# -- N-way chains ------------------------------------------------------------
+def _write_chain(tmp_path, *cps_values):
+    paths = []
+    for index, cps in enumerate(cps_values):
+        path = tmp_path / f"BENCH_{index}.json"
+        path.write_text(
+            json.dumps(make_bench_doc(fig11=make_case(cps_median=cps, cps_iqr=0.0)))
+        )
+        paths.append(path)
+    return paths
+
+
+def test_compare_chain_adjacent_pairs(tmp_path):
+    paths = _write_chain(tmp_path, 5_000.0, 5_050.0, 3_000.0)
+    steps = compare_chain(paths)
+    assert [(a, b) for a, b, _ in steps] == [
+        ("BENCH_0.json", "BENCH_1.json"),
+        ("BENCH_1.json", "BENCH_2.json"),
+    ]
+    first = {v.metric: v.verdict for v in steps[0][2]}
+    second = {v.metric: v.verdict for v in steps[1][2]}
+    assert first["cycles_per_second"] == "noise"
+    assert second["cycles_per_second"] == "regressed"
+
+    text = render_chain(steps)
+    assert "step 1/2: BENCH_0.json -> BENCH_1.json" in text
+    assert "chain total: 1 regression(s) across 2 step(s)" in text
+
+
+def test_render_chain_single_step_keeps_two_operand_output(tmp_path):
+    paths = _write_chain(tmp_path, 5_000.0, 3_000.0)
+    steps = compare_chain(paths)
+    [(label_a, label_b, verdicts)] = steps
+    assert render_chain(steps) == render_comparison(
+        verdicts, label_a=label_a, label_b=label_b
+    )
+    assert "step 1/1" not in render_chain(steps)
+
+
+def test_compare_chain_validates_operands(tmp_path):
+    with pytest.raises(ValueError, match="at least two"):
+        compare_chain([tmp_path / "only.json"])
+    [bench] = _write_chain(tmp_path, 5_000.0)
+    record_path = tmp_path / "record.json"
+    record_path.write_text(json.dumps(make_record().to_dict()))
+    with pytest.raises(ValueError, match="mixed kinds"):
+        compare_chain([bench, record_path])
+
+
+def test_chain_report_is_json_safe(tmp_path):
+    paths = _write_chain(tmp_path, 5_000.0, 3_000.0, 3_000.0)
+    doc = chain_report(compare_chain(paths), gate=["cycles_per_second"])
+    assert doc["kind"] == "compare"
+    assert doc["regressions"] == 1
+    assert [s["regressions"] for s in doc["steps"]] == [1, 0]
+    json.dumps(doc)  # NaN-free (n/a verdicts serialize as null)
+    metrics = {v["metric"] for v in doc["steps"][0]["verdicts"]}
+    assert "mem.peak_bytes" in metrics  # pre-mem docs still report the row
 
 
 # -- record-vs-record --------------------------------------------------------

@@ -445,6 +445,13 @@ def test_bench_cli_writes_bench_file(tmp_path, capsys):
     assert len(records) == 1 and records[0].kind == "bench"
     assert "fig14_hetero_channel" in records[0].bench
     assert f"recorded {tmp_path / 'runs' / 'runs.jsonl'}" in out
+    # The mem block rides along for the regression sentinel: full block
+    # (with sites) in the file, slim block (no sites) in the registry.
+    from repro.telemetry.memprof import validate_mem_block
+
+    validate_mem_block(doc["cases"]["fig14_hetero_channel"]["mem"])
+    slim = records[0].bench["fig14_hetero_channel"]["mem"]
+    assert slim["peak_bytes"] > 0 and "top_sites" not in slim
 
 
 def test_bench_cli_rejects_unknown_case(tmp_path):
@@ -498,6 +505,89 @@ def test_compare_cli_gate_filters_strict_exit(tmp_path, capsys):
     assert "cycles_per_second" in err
 
 
+def test_compare_cli_chains_three_files_and_writes_json(tmp_path, capsys):
+    from .test_bench_compare import make_bench_doc, make_case
+
+    paths = []
+    for index, cps in enumerate((5_000.0, 5_050.0, 3_000.0)):
+        path = tmp_path / f"BENCH_{index}.json"
+        path.write_text(
+            json.dumps(make_bench_doc(fig11=make_case(cps_median=cps, cps_iqr=0.0)))
+        )
+        paths.append(str(path))
+    report_path = tmp_path / "compare.json"
+    assert main(["compare", *paths, "--json", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "step 1/2" in out and "step 2/2" in out
+    assert "chain total: 1 regression(s)" in out
+    doc = json.loads(report_path.read_text())
+    assert doc["kind"] == "compare"
+    assert len(doc["steps"]) == 2 and doc["regressions"] == 1
+    # The chain gates strict mode exactly like the two-operand form.
+    assert main(["compare", *paths, "--strict"]) == 1
+
+
+def test_regress_cli_flags_step_and_passes_noise(tmp_path, capsys):
+    from benchmarks.make_registry_seed import make_records, write_registry
+
+    stepped = tmp_path / "stepped"
+    write_registry(stepped, make_records(step_at=20, culprit="rc_va"))
+    report_path = tmp_path / "sentinel.json"
+    code = main([
+        "regress", "--runs-dir", str(stepped), "--strict",
+        "--json", str(report_path),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "! regressed" in out
+    assert "culprit: rc_va" in out
+    doc = json.loads(report_path.read_text())
+    assert doc["kind"] == "sentinel" and doc["regressions"] >= 3
+    named = [
+        r["changepoint"]["key"]
+        for r in doc["reports"]
+        if r["verdict"] == "regressed" and r["metric"] == "cycles_per_second"
+    ]
+    assert named and all(
+        abs(int(key.split("-")[1]) - 20) <= 2 for key in named
+    )
+
+    flat = tmp_path / "flat"
+    write_registry(flat, make_records())
+    assert main(["regress", "--runs-dir", str(flat), "--strict"]) == 0
+    # Without --strict even a stepped registry exits 0 (warn-only mode).
+    capsys.readouterr()
+    assert main(["regress", "--runs-dir", str(stepped)]) == 0
+
+
+def test_regress_cli_empty_registry_is_clean(tmp_path, capsys):
+    assert main(["regress", "--runs-dir", str(tmp_path / "nothing"), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "no bench history" in out
+    # A registry with only simulate records is just as empty to the sentinel.
+    from repro.telemetry.runstore import RunStore
+
+    from .test_runstore import make_record
+
+    runs = tmp_path / "runs"
+    RunStore(runs).append(make_record())
+    assert main(["regress", "--runs-dir", str(runs), "--strict"]) == 0
+
+
+def test_regress_cli_metric_filter_and_bad_window(tmp_path, capsys):
+    from benchmarks.make_registry_seed import make_records, write_registry
+
+    runs = tmp_path / "runs"
+    write_registry(runs, make_records(step_at=20))
+    assert main([
+        "regress", "--runs-dir", str(runs), "--metric", "mem.", "--strict",
+    ]) == 0  # the step hits throughput, not memory
+    out = capsys.readouterr().out
+    assert "cycles_per_second" not in out
+    with pytest.raises(SystemExit, match="min_segment"):
+        main(["regress", "--runs-dir", str(runs), "--window", "1"])
+
+
 def test_profile_cli_writes_artifacts(tmp_path, capsys):
     from repro.telemetry.hostprof import load_speedscope, validate_speedscope
 
@@ -533,6 +623,32 @@ def test_profile_cli_writes_artifacts(tmp_path, capsys):
     validate_speedscope(doc)
     folded = (out_dir / "profile.folded.txt").read_text()
     assert folded.splitlines() and folded.startswith("engine;")
+
+
+def test_profile_cli_mem_mode(tmp_path, capsys):
+    from repro.telemetry.memprof import validate_mem_block
+
+    out_dir = tmp_path / "prof"
+    code = main(
+        [
+            "profile",
+            "--family", "hetero_phy_torus",
+            "--chiplets", "2x2",
+            "--nodes", "3x3",
+            "--cycles", "1200",
+            "--rate", "0.1",
+            "--seed", "3",
+            "--out-dir", str(out_dir),
+            "--mem",
+            "--mem-top", "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "memory attribution" in out and "peak heap" in out
+    block = validate_mem_block(json.loads((out_dir / "profile.mem.json").read_text()))
+    assert block["peak_bytes"] > 0
+    assert len(block["top_sites"]) <= 5
 
 
 def test_dashboard_cli(tmp_path, capsys):

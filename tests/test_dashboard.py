@@ -35,7 +35,9 @@ def test_dashboard_renders_all_sections(tmp_path):
         results, scale="tiny", bench_dirs=[bench_dir], runs_dir=runs
     )
     assert page.startswith("<!DOCTYPE html>")
-    assert page.count("<svg") == 2  # fig11 curves + bench trajectory
+    # fig11 curves + bench trajectory + the sentinel's cps figure (the two
+    # bench docs share one `created` stamp, so history sees one suite run)
+    assert page.count("<svg") == 3
     assert "parallel-mesh" in page and "hetero-phy-full" in page
     assert "var(--series-1" in page  # palette via CSS custom properties
     assert "prefers-color-scheme: dark" in page
@@ -121,8 +123,9 @@ def test_dashboard_hostperf_section(tmp_path):
 
     page = build_dashboard(results, scale="tiny", runs_dir=runs)
     assert "Host performance" in page
-    # fig11 curves + throughput trajectory + phase-share bars
-    assert page.count("<svg") == 3
+    # fig11 curves + throughput trajectory + phase-share bars + the
+    # sentinel's cps figure over the two bench records
+    assert page.count("<svg") == 4
     assert "host wall-time share by pipeline phase" in page
     assert "sa_st" in page and "rc_va" in page
     assert "no bench history yet" not in page

@@ -200,6 +200,75 @@ def test_record_from_result_captures_ledger_breakdown(tmp_path):
     assert store.load() == [record]
 
 
+def test_corrupt_lines_at_head_middle_tail_counted_lenient(tmp_path):
+    store = RunStore(tmp_path)
+    store.directory.mkdir(parents=True, exist_ok=True)
+    good = [json.dumps(make_record(label=f"ok{i}").to_dict()) for i in range(4)]
+    lines = ["{corrupt head", good[0], good[1], "not json at all",
+             good[2], good[3], '["corrupt", "tail"]']
+    store.path.write_text("\n".join(lines) + "\n")
+
+    with pytest.raises(RunStoreError, match="runs.jsonl:1"):
+        store.load()  # strict mode names the first bad line
+    labels = [r.label for r in store.load(strict=False)]
+    assert labels == ["ok0", "ok1", "ok2", "ok3"]
+    assert store.skipped == 3  # head + middle + tail
+
+
+def test_runstore_loads_5k_records_within_budget(tmp_path):
+    import time
+
+    store = RunStore(tmp_path)
+    store.directory.mkdir(parents=True, exist_ok=True)
+    with store.path.open("w", encoding="utf-8") as handle:
+        for index in range(5_000):
+            record = make_record(run_id=f"r{index:05d}", created="2026-01-01T00:00:00+00:00")
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    start = time.perf_counter()
+    records = store.load(strict=False)
+    elapsed = time.perf_counter() - start
+    assert len(records) == 5_000
+    assert store.skipped == 0
+    # Generous CI budget: the registry must stay cheap to scan even when
+    # a long-lived checkout has accumulated thousands of runs.
+    assert elapsed < 5.0, f"5k-record load took {elapsed:.2f}s"
+
+
+def test_older_schema_records_feed_status_and_sentinel(tmp_path):
+    """Records written before bench/mem/digest fields existed still flow
+    through every consumer: the store, the sentinel history and the
+    fleet view's ``feed_status``."""
+    store = RunStore(tmp_path / "runs")
+    old = make_record(
+        kind="bench", created="2026-01-01T00:00:00+00:00",
+        bench={"fig11": {"cps_median": 4_000.0}},  # pre-mem, pre-digest
+    ).to_dict()
+    for newer_field in ("breakdown", "forensics", "digest"):
+        del old[newer_field]
+    store.directory.mkdir(parents=True, exist_ok=True)
+    store.path.write_text(json.dumps(old) + "\n")
+
+    [record] = store.load()
+    assert record.breakdown == {} and record.digest == {}
+
+    from repro.telemetry.history import load_history
+    from repro.telemetry.sentinel import analyze_history
+
+    report = analyze_history(load_history(tmp_path / "runs"))
+    verdicts = {r.metric: r.verdict for r in report.reports}
+    assert verdicts["mem.peak_bytes"] == "n/a"
+    assert verdicts["digest.stable"] == "n/a"
+    assert report.regressions() == []
+
+    from repro.telemetry.live import feed_status
+
+    # A minimal old-style feed: only the fields the first schema wrote.
+    status = feed_status([{"kind": "start", "run_id": "old-run", "cycle": 0}])
+    assert status["run_id"] == "old-run"
+    assert status["digest"] is None and status["bundle"] is None
+
+
 def test_lenient_load_counts_skipped_lines(tmp_path):
     store = RunStore(tmp_path)
     store.append(make_record(label="good"))

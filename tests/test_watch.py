@@ -133,6 +133,25 @@ def test_fleet_page_renders_sections_and_sse_hook(tmp_path):
     assert "EventSource" in page and "/events" in page
 
 
+def test_fleet_fragment_includes_sentinel_panel(tmp_path):
+    runs_dir = seed_runs_dir(tmp_path)
+    fragment = WatchService(runs_dir).fleet_fragment()
+    assert "Regression sentinel" in fragment
+    # Only a simulate record so far: the shared placeholder, no charts.
+    assert "no bench history yet" in fragment
+
+    store = RunStore(runs_dir)
+    for index, cps in enumerate((4_000.0, 4_400.0)):
+        store.append(make_record(
+            kind="bench",
+            created=f"2026-01-01T00:0{index}:00+00:00",
+            bench={"fig11_hetero_phy": {"cps_median": cps}},
+        ))
+    fragment = WatchService(runs_dir).fleet_fragment()
+    assert "throughput trajectory" in fragment
+    assert "repro regress" in fragment
+
+
 def test_fleet_page_warns_about_skipped_registry_lines(tmp_path):
     runs_dir = seed_runs_dir(tmp_path)
     (runs_dir / "runs.jsonl").open("a").write("{corrupt\n")
